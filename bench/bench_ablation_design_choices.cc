@@ -1,0 +1,141 @@
+// Ablation bench for design choices called out in DESIGN.md (not figures
+// in the paper, but engineering questions its algorithms raise):
+//
+//  A. Log-Laplace bias correction (Lemma 8.2): does multiplying by
+//     (1 - lambda^2) reduce L1 error on real marginals?
+//  B. Smooth Gamma epsilon split: the paper's eps2 = 5 ln(1+alpha)
+//     (minimal dilation) vs a naive equal split eps1 = eps2 = eps/2.
+//  C. SDL fuzz-factor distribution: QWI-style ramp vs uniform on [s, t] —
+//     how much does the baseline's own error move?
+//  D. Integer release: Smooth Geometric vs Smooth Laplace at the same
+//     (alpha, eps, delta).
+#include "bench_common.h"
+#include "mechanisms/log_laplace.h"
+#include "mechanisms/smooth_gamma.h"
+#include "mechanisms/smooth_laplace.h"
+#include "mechanisms/geometric.h"
+#include "privacy/sensitivity.h"
+
+namespace eep {
+namespace {
+
+// Equal-split variant of Smooth Gamma for ablation B: wraps the production
+// mechanism's noise with a suboptimal budget split (eps1 = eps2 = eps/2),
+// implemented via the same smooth-sensitivity formula.
+class EqualSplitSmoothGamma : public mechanisms::CountMechanism {
+ public:
+  EqualSplitSmoothGamma(double alpha, double epsilon)
+      : alpha_(alpha), eps1_(epsilon / 2.0), eps2_(epsilon / 2.0) {}
+
+  std::string name() const override { return "Smooth Gamma (equal split)"; }
+
+  Result<double> Release(const mechanisms::CellQuery& cell,
+                         Rng& rng) const override {
+    EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
+    return static_cast<double>(cell.true_count) + scale * noise_.Sample(rng);
+  }
+
+  Result<double> ExpectedL1Error(
+      const mechanisms::CellQuery& cell) const override {
+    EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
+    return scale * noise_.MeanAbs();
+  }
+
+ private:
+  Result<double> NoiseScale(const mechanisms::CellQuery& cell) const {
+    EEP_ASSIGN_OR_RETURN(
+        double smooth,
+        privacy::SmoothSensitivity(cell.x_v, alpha_, eps2_ / 5.0));
+    return smooth / (eps1_ / 5.0);
+  }
+  double alpha_;
+  double eps1_;
+  double eps2_;
+  GeneralizedCauchy4 noise_;
+};
+
+}  // namespace
+}  // namespace eep
+
+int main(int argc, char** argv) {
+  using namespace eep;
+  const Flags flags = Flags::Parse(argc, argv);
+  const bench::BenchSetup setup = bench::SetupFromFlags(flags);
+  lodes::LodesDataset data = bench::MustGenerate(setup);
+
+  std::printf("=== Ablations: design choices ===\n");
+  bench::PrintDatasetSummary(data, setup);
+
+  auto query = lodes::MarginalQuery::Compute(
+                   data, lodes::MarginalSpec::EstablishmentMarginal())
+                   .value();
+  eval::ExperimentRunner runner(&data, setup.experiment);
+  const double alpha = 0.1, eps = 2.0, delta = 0.05;
+
+  // --- A: Log-Laplace bias correction. --------------------------------
+  {
+    auto biased =
+        mechanisms::LogLaplaceMechanism::Create({alpha, eps, 0.0}).value();
+    auto debiased =
+        mechanisms::LogLaplaceMechanism::Create({alpha, eps, 0.0}, true)
+            .value();
+    const double err_biased =
+        runner.MechanismError(query, biased).value().overall;
+    const double err_debiased =
+        runner.MechanismError(query, debiased).value().overall;
+    std::printf(
+        "A. Log-Laplace L1 (alpha=%.2f, eps=%.1f): biased %.1f vs "
+        "debiased %.1f (%+.1f%%)\n",
+        alpha, eps, err_biased, err_debiased,
+        100.0 * (err_debiased - err_biased) / err_biased);
+  }
+
+  // --- B: Smooth Gamma budget split. -----------------------------------
+  {
+    auto paper_split =
+        mechanisms::SmoothGammaMechanism::Create({alpha, eps, 0.0}).value();
+    EqualSplitSmoothGamma equal_split(alpha, eps);
+    const double err_paper =
+        runner.MechanismError(query, paper_split).value().overall;
+    const double err_equal =
+        runner.MechanismError(query, equal_split).value().overall;
+    std::printf(
+        "B. Smooth Gamma L1: paper split (eps2=5ln(1+a)) %.1f vs equal "
+        "split %.1f (equal split %+.1f%%)\n",
+        err_paper, err_equal,
+        100.0 * (err_equal - err_paper) / err_paper);
+  }
+
+  // --- C: SDL ramp vs uniform fuzz factors. ----------------------------
+  {
+    eval::ExperimentConfig uniform_cfg = setup.experiment;
+    uniform_cfg.sdl_params.ramp_distribution = false;
+    eval::ExperimentRunner uniform_runner(&data, uniform_cfg);
+    const double ramp_err = runner.SdlError(query).value().overall;
+    const double uniform_err =
+        uniform_runner.SdlError(query).value().overall;
+    std::printf(
+        "C. SDL baseline L1: ramp factors %.1f vs uniform factors %.1f "
+        "(uniform %+.1f%%)\n",
+        ramp_err, uniform_err,
+        100.0 * (uniform_err - ramp_err) / ramp_err);
+  }
+
+  // --- D: integer vs continuous smooth release. ------------------------
+  {
+    auto continuous =
+        mechanisms::SmoothLaplaceMechanism::Create({alpha, eps, delta})
+            .value();
+    auto integer =
+        mechanisms::GeometricMechanism::Create({alpha, eps, delta}).value();
+    const double err_cont =
+        runner.MechanismError(query, continuous).value().overall;
+    const double err_int =
+        runner.MechanismError(query, integer).value().overall;
+    std::printf(
+        "D. Smooth Laplace L1 %.1f vs Smooth Geometric (integer) %.1f "
+        "(integer %+.1f%%)\n",
+        err_cont, err_int, 100.0 * (err_int - err_cont) / err_cont);
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Shared setup for the figure/table bench binaries: dataset construction
+// from command-line flags and figure-point rendering.
+//
+// Every bench accepts:
+//   --jobs=N      target job count        (default 120000, paper: 10.9M)
+//   --places=N    number of Census places (default 160)
+//   --trials=N    Monte-Carlo trials      (default 5, paper: 20)
+//   --seed=N      generator seed          (default 42)
+//   --threads=N   trial worker threads    (default 1; results identical)
+// Scaling --jobs to 10900000 reproduces the paper's extract 1:1 (slower;
+// add --threads to compensate).
+#ifndef EEP_BENCH_BENCH_COMMON_H_
+#define EEP_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/text_table.h"
+#include "eval/report.h"
+#include "eval/workloads.h"
+#include "lodes/generator.h"
+
+namespace eep::bench {
+
+struct BenchSetup {
+  lodes::GeneratorConfig generator;
+  eval::ExperimentConfig experiment;
+};
+
+inline BenchSetup SetupFromFlags(const Flags& flags) {
+  BenchSetup setup;
+  setup.generator.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42));
+  setup.generator.target_jobs = flags.GetInt("jobs", 120000);
+  setup.generator.num_places =
+      static_cast<int32_t>(flags.GetInt("places", 160));
+  setup.experiment.trials = static_cast<int>(flags.GetInt("trials", 5));
+  setup.experiment.threads = static_cast<int>(flags.GetInt("threads", 1));
+  setup.experiment.seed = setup.generator.seed ^ 0xBE9Cu;
+  return setup;
+}
+
+inline lodes::LodesDataset MustGenerate(const BenchSetup& setup) {
+  auto data = lodes::SyntheticLodesGenerator(setup.generator).Generate();
+  if (!data.ok()) {
+    std::cerr << "dataset generation failed: " << data.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(data).value();
+}
+
+inline void PrintDatasetSummary(const lodes::LodesDataset& data,
+                                const BenchSetup& setup) {
+  std::printf(
+      "dataset: %lld jobs, %lld establishments, %zu places, %d trials\n\n",
+      static_cast<long long>(data.num_jobs()),
+      static_cast<long long>(data.num_establishments()),
+      data.places().size(), setup.experiment.trials);
+}
+
+/// Renders a figure sweep as one table per mechanism: rows = alpha, columns
+/// = epsilon, cells = overall metric ("-" for infeasible points, matching
+/// the gaps in the paper's plots).
+inline void PrintFigureSeries(const std::vector<eval::FigurePoint>& points,
+                              const std::string& metric_name) {
+  // Collect the grids present in the sweep.
+  std::vector<double> epsilons, alphas;
+  std::vector<eval::MechanismKind> kinds;
+  for (const auto& p : points) {
+    if (std::find(epsilons.begin(), epsilons.end(), p.epsilon) ==
+        epsilons.end()) {
+      epsilons.push_back(p.epsilon);
+    }
+    if (std::find(alphas.begin(), alphas.end(), p.alpha) == alphas.end()) {
+      alphas.push_back(p.alpha);
+    }
+    if (std::find(kinds.begin(), kinds.end(), p.kind) == kinds.end()) {
+      kinds.push_back(p.kind);
+    }
+  }
+  std::sort(epsilons.begin(), epsilons.end());
+  std::sort(alphas.begin(), alphas.end());
+
+  for (eval::MechanismKind kind : kinds) {
+    std::printf("%s — %s (rows: alpha, cols: epsilon)\n",
+                eval::MechanismKindName(kind), metric_name.c_str());
+    std::vector<std::string> headers = {"alpha"};
+    for (double eps : epsilons) headers.push_back("eps=" + FormatDouble(eps));
+    TextTable table(std::move(headers));
+    for (double alpha : alphas) {
+      std::vector<std::string> row = {FormatDouble(alpha)};
+      for (double eps : epsilons) {
+        const eval::FigurePoint* found = nullptr;
+        for (const auto& p : points) {
+          if (p.kind == kind && p.alpha == alpha && p.epsilon == eps) {
+            found = &p;
+          }
+        }
+        if (found == nullptr) {
+          row.push_back("?");
+        } else if (!found->feasible) {
+          row.push_back("-");
+        } else {
+          row.push_back(FormatDouble(found->overall, 3));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+/// Renders the per-stratum panels for one (alpha) slice of a sweep, the
+/// analogue of the four stacked panels in each paper figure.
+inline void PrintStratifiedPanels(const std::vector<eval::FigurePoint>& points,
+                                  double alpha,
+                                  const std::string& metric_name) {
+  std::printf("stratified %s at alpha=%s (rows: stratum, cols: epsilon)\n",
+              metric_name.c_str(), FormatDouble(alpha).c_str());
+  std::vector<double> epsilons;
+  std::vector<eval::MechanismKind> kinds;
+  for (const auto& p : points) {
+    if (p.alpha != alpha) continue;
+    if (std::find(epsilons.begin(), epsilons.end(), p.epsilon) ==
+        epsilons.end()) {
+      epsilons.push_back(p.epsilon);
+    }
+    if (std::find(kinds.begin(), kinds.end(), p.kind) == kinds.end()) {
+      kinds.push_back(p.kind);
+    }
+  }
+  std::sort(epsilons.begin(), epsilons.end());
+  for (eval::MechanismKind kind : kinds) {
+    std::printf("  %s\n", eval::MechanismKindName(kind));
+    std::vector<std::string> headers = {"stratum"};
+    for (double eps : epsilons) headers.push_back("eps=" + FormatDouble(eps));
+    TextTable table(std::move(headers));
+    for (int s = 0; s < eval::kNumStrata; ++s) {
+      std::vector<std::string> row = {eval::StratumName(s)};
+      for (double eps : epsilons) {
+        std::string cell = "?";
+        for (const auto& p : points) {
+          if (p.kind == kind && p.alpha == alpha && p.epsilon == eps) {
+            cell = p.feasible ? FormatDouble(p.by_stratum[s], 3) : "-";
+          }
+        }
+        row.push_back(cell);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::printf("\n");
+}
+
+/// Writes the sweep to --csv=PATH when the flag is present.
+inline void MaybeWriteCsv(const Flags& flags,
+                          const std::vector<eval::FigurePoint>& points) {
+  const std::string path = flags.GetString("csv", "");
+  if (path.empty()) return;
+  if (auto st = eval::WriteFigurePointsCsv(points, path); !st.ok()) {
+    std::cerr << "csv write failed: " << st.ToString() << "\n";
+  } else {
+    std::printf("wrote %zu points to %s\n", points.size(), path.c_str());
+  }
+}
+
+}  // namespace eep::bench
+
+#endif  // EEP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Table 1 of the paper: which protection methods satisfy which privacy
+// requirements. The matrix entries come from privacy/requirements.h; the
+// "No" entries for input noise infusion are then substantiated by running
+// the Sec. 5.2 attacks live against an SDL release.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "privacy/requirements.h"
+#include "sdl/attacks.h"
+#include "sdl/noise_infusion.h"
+
+int main(int argc, char** argv) {
+  using namespace eep;
+  (void)argc;
+  (void)argv;
+
+  std::printf("=== Table 1: privacy definitions and requirements ===\n\n");
+  {
+    std::vector<std::string> headers = {"Name"};
+    for (auto req : privacy::AllRequirements()) {
+      headers.push_back(privacy::RequirementName(req));
+    }
+    TextTable table(std::move(headers));
+    for (auto method : privacy::AllProtectionMethods()) {
+      std::vector<std::string> row = {privacy::ProtectionMethodName(method)};
+      for (auto req : privacy::AllRequirements()) {
+        row.push_back(privacy::SatisfactionName(
+            privacy::Satisfies(method, req)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+  }
+  std::printf("\n(* = requirement satisfied under weak adversaries)\n\n");
+
+  // Substantiate the SDL "No" row: run the three attacks against one
+  // single-establishment SDL release.
+  std::printf("--- executable evidence for the SDL row ---\n");
+  Rng rng(271828);
+  auto infusion = sdl::NoiseInfusion::Create({}, {1}, rng).value();
+  const std::vector<int64_t> true_cells = {40, 120, 60, 20};
+  std::vector<double> published;
+  for (int64_t c : true_cells) {
+    published.push_back(infusion.ReleaseCell({{1, c}}, c, rng).value());
+  }
+
+  auto shape = sdl::InferEstablishmentShape(published, 2.5).value();
+  std::printf("shape attack: exact=%s, inferred shape =",
+              shape.exact ? "YES" : "no");
+  for (double s : shape.inferred_shape) std::printf(" %.4f", s);
+  std::printf("\n");
+
+  auto size = sdl::ReconstructEstablishmentSize(published, 1, 120, 2.5)
+                  .value();
+  std::printf(
+      "size attack: reconstructed fuzz factor %.6f (true %.6f), "
+      "reconstructed total %.1f (true 240)\n",
+      size.inferred_factor, infusion.FactorOf(1).value(),
+      size.reconstructed_total);
+
+  std::vector<double> reid_cells = {5.0, 9.0, 0.0, 3.0, 0.0, 1.0};
+  std::vector<bool> has_degree = {false, false, true, false, true, true};
+  auto reid = sdl::ReidentifyWorker(reid_cells, has_degree).value();
+  std::printf(
+      "re-identification attack: unique match=%s (victim's cell index "
+      "%zu)\n",
+      reid.unique_match ? "YES" : "no", reid.matched_cell);
+  return 0;
+}

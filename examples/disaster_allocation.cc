@@ -1,0 +1,75 @@
+// Resource-allocation scenario from Section 3.2 of the paper: FEMA-style
+// disaster assistance thresholds are computed from per-area job counts at
+// $3.50 per job. Errors in released counts translate directly into
+// misallocated dollars, which is why the paper measures L1 error.
+//
+// This example releases per-place employment totals with the legacy SDL
+// and with each formally private mechanism, and prices the absolute count
+// error at $3.50/job ("net social cost") across a grid of epsilon.
+//
+// Build & run:  ./build/examples/disaster_allocation [--jobs=N]
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/text_table.h"
+#include "eval/experiment.h"
+#include "eval/workloads.h"
+#include "lodes/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace eep;
+  const Flags flags = Flags::Parse(argc, argv);
+
+  lodes::GeneratorConfig generator;
+  generator.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  generator.target_jobs = flags.GetInt("jobs", 80000);
+  generator.num_places = 120;
+  auto data =
+      lodes::SyntheticLodesGenerator(generator).Generate().value();
+
+  // Employment by place only: the count FEMA-style thresholds would use.
+  lodes::MarginalSpec by_place{{lodes::kColPlace}, {}};
+  auto query = lodes::MarginalQuery::Compute(data, by_place).value();
+  std::printf(
+      "disaster-allocation scenario: %zu places, %lld jobs, $3.50/job\n\n",
+      query.cells().size(), static_cast<long long>(data.num_jobs()));
+
+  eval::ExperimentConfig experiment;
+  experiment.trials = 20;
+  experiment.seed = 555;
+  eval::ExperimentRunner runner(&data, experiment);
+
+  constexpr double kDollarsPerJob = 3.50;
+  const double sdl_cost =
+      runner.SdlError(query).value().overall * kDollarsPerJob;
+
+  TextTable table({"mechanism", "eps", "alpha",
+                   "expected misallocation ($)", "vs SDL"});
+  table.AddRow({"Input Noise Infusion (SDL)", "-", "-",
+                FormatDouble(sdl_cost, 6), "1.00"});
+  const double alpha = 0.1;
+  for (eval::MechanismKind kind :
+       {eval::MechanismKind::kLogLaplace, eval::MechanismKind::kSmoothLaplace,
+        eval::MechanismKind::kSmoothGamma}) {
+    for (double eps : {1.0, 2.0, 4.0}) {
+      auto mech = eval::MakeMechanism(kind, alpha, eps, 0.05);
+      if (!mech.ok()) {
+        table.AddRow({eval::MechanismKindName(kind), FormatDouble(eps),
+                      FormatDouble(alpha), "infeasible", "-"});
+        continue;
+      }
+      const double cost =
+          runner.MechanismError(query, *mech.value()).value().overall *
+          kDollarsPerJob;
+      table.AddRow({eval::MechanismKindName(kind), FormatDouble(eps),
+                    FormatDouble(alpha), FormatDouble(cost, 6),
+                    FormatDouble(cost / sdl_cost, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: a 'vs SDL' value below 1 means the formally private\n"
+      "release would misallocate FEWER dollars than the current system.\n");
+  return 0;
+}

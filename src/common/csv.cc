@@ -1,0 +1,124 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace eep {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    return Status::FailedPrecondition("CSV header already written");
+  }
+  if (rows_written_ > 0) {
+    return Status::FailedPrecondition("CSV rows already written");
+  }
+  header_written_ = true;
+  arity_ = columns.size();
+  std::vector<std::string> copy = columns;
+  for (size_t i = 0; i < copy.size(); ++i) {
+    *out_ << CsvEscape(copy[i]) << (i + 1 < copy.size() ? "," : "");
+  }
+  *out_ << '\n';
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (header_written_ && fields.size() != arity_) {
+    return Status::InvalidArgument("CSV row arity does not match header");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    *out_ << CsvEscape(fields[i]) << (i + 1 < fields.size() ? "," : "");
+  }
+  *out_ << '\n';
+  ++rows_written_;
+  return Status::OK();
+}
+
+Status CsvWriter::WriteRow(const std::vector<double>& fields) {
+  std::vector<std::string> as_text;
+  as_text.reserve(fields.size());
+  char buf[64];
+  for (double v : fields) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    as_text.emplace_back(buf);
+  }
+  return WriteRow(as_text);
+}
+
+std::vector<std::string> CsvParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = CsvParseLine(line);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  CsvWriter writer(&out);
+  EEP_RETURN_NOT_OK(writer.WriteHeader(header));
+  for (const auto& row : rows) EEP_RETURN_NOT_OK(writer.WriteRow(row));
+  return Status::OK();
+}
+
+}  // namespace eep

@@ -1,0 +1,64 @@
+// Minimal CSV reading/writing for experiment outputs and released tables.
+#ifndef EEP_COMMON_CSV_H_
+#define EEP_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eep {
+
+/// \brief Streaming CSV writer with RFC-4180 quoting.
+///
+/// Writes a header row followed by data rows; fields containing commas,
+/// quotes or newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (kept alive by the caller).
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the header; must be called at most once, before any row.
+  Status WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes a data row; must have the same arity as the header if one was
+  /// written.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience overload formatting doubles with up to 10 significant
+  /// digits.
+  Status WriteRow(const std::vector<double>& fields);
+
+  int64_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ostream* out_;
+  int64_t rows_written_ = 0;
+  size_t arity_ = 0;
+  bool header_written_ = false;
+};
+
+/// Escapes one CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+/// Parses one CSV line into fields (handles quoted fields and doubled
+/// quotes; does not handle embedded newlines, which our writers never emit
+/// inside released tables).
+std::vector<std::string> CsvParseLine(const std::string& line);
+
+/// Reads an entire CSV file into header + rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Writes header + rows to a file, creating/truncating it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_CSV_H_

@@ -1,0 +1,141 @@
+#include "common/distributions.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace eep {
+
+// ---------------------------------------------------------------------------
+// LaplaceDistribution
+// ---------------------------------------------------------------------------
+
+Result<LaplaceDistribution> LaplaceDistribution::Create(double scale) {
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("Laplace scale must be finite and > 0");
+  }
+  return LaplaceDistribution(scale);
+}
+
+double LaplaceDistribution::Pdf(double x) const {
+  return 0.5 / scale_ * std::exp(-std::abs(x) / scale_);
+}
+
+double LaplaceDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / scale_);
+  return 1.0 - 0.5 * std::exp(-x / scale_);
+}
+
+double LaplaceDistribution::Quantile(double u) const {
+  assert(u > 0.0 && u < 1.0);
+  if (u < 0.5) return scale_ * std::log(2.0 * u);
+  return -scale_ * std::log(2.0 * (1.0 - u));
+}
+
+double LaplaceDistribution::Sample(Rng& rng) const {
+  return rng.Laplace(scale_);
+}
+
+// ---------------------------------------------------------------------------
+// GeneralizedCauchy4
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730950488;
+// Normalizing constant of 1/(1+z^4): total mass is pi/sqrt(2).
+constexpr double kNorm = kSqrt2 / M_PI;
+
+// Antiderivative of 1/(1+u^4) with A(0) = 0, monotone increasing, continuous
+// on all of R (the atan form below has no branch discontinuity).
+double Antiderivative(double u) {
+  const double u2 = u * u;
+  const double log_term =
+      std::log((u2 + kSqrt2 * u + 1.0) / (u2 - kSqrt2 * u + 1.0)) /
+      (4.0 * kSqrt2);
+  const double atan_term =
+      (std::atan(kSqrt2 * u + 1.0) + std::atan(kSqrt2 * u - 1.0)) /
+      (2.0 * kSqrt2);
+  return log_term + atan_term;
+}
+}  // namespace
+
+double GeneralizedCauchy4::Pdf(double z) const {
+  const double z2 = z * z;
+  return kNorm / (1.0 + z2 * z2);
+}
+
+double GeneralizedCauchy4::Cdf(double z) const {
+  return 0.5 + kNorm * Antiderivative(z);
+}
+
+double GeneralizedCauchy4::Quantile(double u) const {
+  assert(u > 0.0 && u < 1.0);
+  // The tail decays like z^-3, so quantiles grow like (1-u)^{-1/3}; use that
+  // to pick an initial bracket, then bisect on the monotone CDF.
+  double lo = -1.0, hi = 1.0;
+  while (Cdf(lo) > u) lo *= 2.0;
+  while (Cdf(hi) < u) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (hi - lo < 1e-13 * std::max(1.0, std::abs(mid))) break;
+    if (Cdf(mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Newton polish (one or two steps suffice once bisection converged).
+  double z = 0.5 * (lo + hi);
+  for (int i = 0; i < 3; ++i) {
+    const double f = Cdf(z) - u;
+    const double d = Pdf(z);
+    if (d <= 0.0) break;
+    const double step = f / d;
+    if (!std::isfinite(step)) break;
+    z -= step;
+  }
+  return z;
+}
+
+double GeneralizedCauchy4::Sample(Rng& rng) const {
+  double u = rng.Uniform();
+  while (u <= 0.0 || u >= 1.0) u = rng.Uniform();
+  return Quantile(u);
+}
+
+double GeneralizedCauchy4::MeanAbs() const { return kSqrt2 / 2.0; }
+
+// ---------------------------------------------------------------------------
+// RampDistribution
+// ---------------------------------------------------------------------------
+
+Result<RampDistribution> RampDistribution::Create(double s, double t) {
+  if (!(0.0 < s && s < t) || !std::isfinite(t)) {
+    return Status::InvalidArgument("Ramp requires 0 < s < t, both finite");
+  }
+  return RampDistribution(s, t);
+}
+
+double RampDistribution::Pdf(double x) const {
+  if (x < s_ || x > t_) return 0.0;
+  const double width = t_ - s_;
+  return 2.0 * (t_ - x) / (width * width);
+}
+
+double RampDistribution::Cdf(double x) const {
+  if (x <= s_) return 0.0;
+  if (x >= t_) return 1.0;
+  const double width = t_ - s_;
+  const double r = (t_ - x) / width;
+  return 1.0 - r * r;
+}
+
+double RampDistribution::Quantile(double u) const {
+  assert(u >= 0.0 && u <= 1.0);
+  return t_ - (t_ - s_) * std::sqrt(1.0 - u);
+}
+
+double RampDistribution::Sample(Rng& rng) const {
+  return Quantile(rng.Uniform());
+}
+
+}  // namespace eep

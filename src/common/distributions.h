@@ -1,0 +1,101 @@
+// Analytic probability distributions used by the privacy mechanisms.
+//
+// Unlike the raw sampling helpers on Rng, these classes expose densities and
+// CDFs so tests can verify admissibility inequalities (Def. 8.3 of the paper)
+// directly against the math, and so inverse-transform sampling stays exact.
+#ifndef EEP_COMMON_DISTRIBUTIONS_H_
+#define EEP_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace eep {
+
+/// \brief Laplace(0, b) with density (1/2b)·exp(-|x|/b).
+class LaplaceDistribution {
+ public:
+  /// Creates the distribution; fails unless scale > 0.
+  static Result<LaplaceDistribution> Create(double scale);
+
+  double scale() const { return scale_; }
+  /// Probability density at x.
+  double Pdf(double x) const;
+  /// Cumulative distribution at x.
+  double Cdf(double x) const;
+  /// Inverse CDF (quantile) for u in (0,1).
+  double Quantile(double u) const;
+  /// One draw.
+  double Sample(Rng& rng) const;
+  /// E|X| = b.
+  double MeanAbs() const { return scale_; }
+  /// Var X = 2 b^2.
+  double Variance() const { return 2.0 * scale_ * scale_; }
+
+ private:
+  explicit LaplaceDistribution(double scale) : scale_(scale) {}
+  double scale_;
+};
+
+/// \brief The paper's smooth-sensitivity noise density h(z) ∝ 1/(1 + |z|^γ)
+/// for γ = 4 (Algorithm 2, "Smooth Gamma").
+///
+/// Normalization: ∫ dz/(1+z⁴) = π/√2, so h(z) = (√2/π) / (1+z⁴).
+/// The CDF has the closed form (for z ≥ 0, with c = √2/π):
+///
+///   F(z) = 1/2 + c·[ (1/(4√2))·ln((z²+√2 z+1)/(z²−√2 z+1))
+///                  + (1/(2√2))·(atan(√2 z+1) + atan(√2 z−1)) ]
+///
+/// Moments: E Z = 0, E|Z| = √2/2 ≈ 0.7071, Var Z = 1.
+/// (The paper's appendix computes the L1 integral without the normalizing
+/// constant and reports π/2; the normalized value is (√2/π)(π/2) = √2/2.
+/// Both are Θ(1), so Lemma 8.8's bound is unaffected; see EXPERIMENTS.md.)
+class GeneralizedCauchy4 {
+ public:
+  GeneralizedCauchy4() = default;
+
+  /// Probability density at z.
+  double Pdf(double z) const;
+  /// Cumulative distribution at z (closed form above).
+  double Cdf(double z) const;
+  /// Inverse CDF by monotone bisection + Newton polish; |error| < 1e-12.
+  double Quantile(double u) const;
+  /// One draw via inverse transform.
+  double Sample(Rng& rng) const;
+  /// E|Z| = √2/2.
+  double MeanAbs() const;
+  /// Var Z = 1.
+  double Variance() const { return 1.0; }
+};
+
+/// \brief Ramp distribution on [s, t] with linearly decreasing density,
+/// p(x) ∝ (t − x), used by the QWI-style noise-infusion fuzz factors.
+///
+/// The published QWI methodology draws the distortion magnitude |f−1| from a
+/// ramp between s and t that concentrates mass near s (small distortions are
+/// more likely than large ones).
+class RampDistribution {
+ public:
+  /// Fails unless 0 < s < t.
+  static Result<RampDistribution> Create(double s, double t);
+
+  double s() const { return s_; }
+  double t() const { return t_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  /// Inverse transform: x = t − (t−s)·sqrt(1−u).
+  double Quantile(double u) const;
+  double Sample(Rng& rng) const;
+  /// E X = s + (t−s)/3.
+  double Mean() const { return s_ + (t_ - s_) / 3.0; }
+
+ private:
+  RampDistribution(double s, double t) : s_(s), t_(t) {}
+  double s_;
+  double t_;
+};
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_DISTRIBUTIONS_H_

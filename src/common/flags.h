@@ -1,0 +1,33 @@
+// A tiny --key=value command-line flag parser for the bench and example
+// binaries (no external dependency; gflags-style syntax subset).
+#ifndef EEP_COMMON_FLAGS_H_
+#define EEP_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace eep {
+
+/// \brief Parsed command-line flags of the form --name=value or --name.
+class Flags {
+ public:
+  /// Parses argv; unknown positional arguments are ignored. A bare "--name"
+  /// is recorded with the value "true".
+  static Flags Parse(int argc, char** argv);
+
+  /// Value of --name, or `def` when absent or malformed.
+  std::string GetString(const std::string& name, std::string def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_FLAGS_H_

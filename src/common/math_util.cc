@@ -1,0 +1,51 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace eep {
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::abs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+double LogSumExp(double a, double b) {
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  if (std::isinf(hi) && hi < 0) return hi;  // both -inf
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+int64_t RoundNonNegative(double x) noexcept {
+  if (!(x > 0.0)) return 0;  // NaN and negatives round to zero
+  return static_cast<int64_t>(std::llround(x));
+}
+
+int64_t AlphaUpperBound(int64_t x, double alpha) {
+  assert(x >= 0 && alpha >= 0.0);
+  // Guard against binary representation error before ceil: (1+0.1)*100
+  // evaluates to 110.0000...01 and would otherwise round up to 111.
+  const double scaled = (1.0 + alpha) * static_cast<double>(x);
+  const auto ceil_scaled = static_cast<int64_t>(std::ceil(scaled - 1e-9));
+  // Def. 7.1 uses max((1+alpha)|E|, |E|+1): a size change of one worker is
+  // always allowed even when alpha*x < 1.
+  return std::max(ceil_scaled, x + 1);
+}
+
+double QuantileSorted(const std::vector<double>& sorted_values, double q) {
+  assert(!sorted_values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+}  // namespace eep

@@ -1,0 +1,34 @@
+// Small numeric helpers shared across modules.
+#ifndef EEP_COMMON_MATH_UTIL_H_
+#define EEP_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eep {
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// Numerically stable log(exp(a) + exp(b)).
+double LogSumExp(double a, double b);
+
+/// Rounds to the nearest non-negative integer (used to post-process noisy
+/// counts when an integer release is requested).
+int64_t RoundNonNegative(double x) noexcept;
+
+/// ceil((1+alpha) * x) as used in the strong alpha-neighbor definition
+/// (Def. 7.1): upper end of the indistinguishability band for size x.
+int64_t AlphaUpperBound(int64_t x, double alpha);
+
+/// Linear interpolation-based empirical quantile (type-7, the numpy/R
+/// default). `sorted_values` must be ascending and non-empty; q in [0,1].
+double QuantileSorted(const std::vector<double>& sorted_values, double q);
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_MATH_UTIL_H_

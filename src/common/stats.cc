@@ -1,0 +1,109 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eep {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+Result<double> L1Distance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("L1Distance: length mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total;
+}
+
+Result<double> MeanAbsoluteError(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.empty()) return Status::InvalidArgument("MeanAbsoluteError: empty");
+  EEP_ASSIGN_OR_RETURN(double l1, L1Distance(a, b));
+  return l1 / static_cast<double>(a.size());
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t i, size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank over the tie group [i, j].
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("PearsonCorrelation: length mismatch");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("PearsonCorrelation: need >= 2 points");
+  }
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return Status::InvalidArgument("PearsonCorrelation: constant input");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("SpearmanCorrelation: length mismatch");
+  }
+  return PearsonCorrelation(FractionalRanks(a), FractionalRanks(b));
+}
+
+}  // namespace eep

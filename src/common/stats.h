@@ -1,0 +1,64 @@
+// Summary statistics and rank correlation used by the evaluation harness.
+#ifndef EEP_COMMON_STATS_H_
+#define EEP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eep {
+
+/// \brief Streaming accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of a normal-approximation 95% confidence interval of the
+  /// mean. 0 for fewer than two observations.
+  double ci95_halfwidth() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// L1 distance between two equal-length vectors.
+Result<double> L1Distance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Average absolute per-coordinate error |a_i - b_i| (L1 / n).
+Result<double> MeanAbsoluteError(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// Fractional ranks with average-rank tie handling (1-based, as in
+/// statistics textbooks). E.g. {10, 20, 20} -> {1, 2.5, 2.5}.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+/// Spearman rank-order correlation between two equal-length vectors, the
+/// accuracy measure the paper uses for Rankings 1 and 2. Computed as the
+/// Pearson correlation of fractional ranks (correct in the presence of
+/// ties). Fails for length < 2 or when either input is constant.
+Result<double> SpearmanCorrelation(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Pearson correlation. Fails for length < 2, mismatched lengths, or
+/// zero-variance inputs.
+Result<double> PearsonCorrelation(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_STATS_H_

@@ -1,0 +1,28 @@
+#include "common/status.h"
+
+namespace eep {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace eep

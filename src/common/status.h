@@ -1,0 +1,139 @@
+// Status / Result error handling in the style of RocksDB and Arrow: library
+// code never throws across module boundaries; fallible operations return a
+// Status (or Result<T>), and callers decide how to react.
+#ifndef EEP_COMMON_STATUS_H_
+#define EEP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace eep {
+
+/// \brief Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< Caller passed a value outside the documented domain.
+  kOutOfRange,         ///< Index or key outside a container's range.
+  kNotFound,           ///< Requested entity does not exist.
+  kFailedPrecondition, ///< Operation is not valid in the current state.
+  kAlreadyExists,      ///< Entity with the same key already present.
+  kResourceExhausted,  ///< A budget (e.g. privacy budget) has run out.
+  kIOError,            ///< Filesystem or serialization failure.
+  kInternal,           ///< Invariant violation inside the library.
+};
+
+/// \brief Human readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (message is shared only on error
+/// paths, which are expected to be rare).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \brief Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Result of a fallible operation that produces a T on success.
+///
+/// Holds either a value or an error Status. Accessing the value of an error
+/// Result aborts (programming error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value; aborts if this Result holds an error.
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define EEP_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::eep::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define EEP_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto EEP_CONCAT_(_res_, __LINE__) = (rexpr);   \
+  if (!EEP_CONCAT_(_res_, __LINE__).ok())        \
+    return EEP_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(EEP_CONCAT_(_res_, __LINE__)).value()
+
+#define EEP_CONCAT_INNER_(a, b) a##b
+#define EEP_CONCAT_(a, b) EEP_CONCAT_INNER_(a, b)
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_STATUS_H_

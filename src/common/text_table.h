@@ -1,0 +1,39 @@
+// Fixed-width console tables: the bench binaries print the paper's tables
+// and figure series as aligned text so runs are readable without plotting.
+#ifndef EEP_COMMON_TEXT_TABLE_H_
+#define EEP_COMMON_TEXT_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eep {
+
+/// \brief Accumulates rows and renders an aligned, padded text table.
+class TextTable {
+ public:
+  /// Column headers fix the arity of the table.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; extra fields are dropped, missing fields rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::vector<double>& row, int precision = 4);
+
+  /// Renders with single-space-padded columns and a separator rule.
+  void Print(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` significant digits.
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace eep
+
+#endif  // EEP_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,107 @@
+#include "eval/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace eep::eval {
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+Result<MechanismKind> KindFromName(const std::string& name) {
+  for (MechanismKind kind :
+       {MechanismKind::kLogLaplace, MechanismKind::kSmoothLaplace,
+        MechanismKind::kSmoothGamma, MechanismKind::kEdgeLaplace,
+        MechanismKind::kSmoothGeometric}) {
+    if (name == MechanismKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown mechanism name: " + name);
+}
+
+}  // namespace
+
+Status WriteFigurePointsCsv(const std::vector<FigurePoint>& points,
+                            const std::string& path) {
+  std::vector<std::string> header = {"mechanism", "epsilon", "alpha",
+                                     "feasible", "overall"};
+  for (int s = 0; s < kNumStrata; ++s) {
+    header.push_back("stratum" + std::to_string(s));
+  }
+  header.push_back("infeasible_reason");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    std::vector<std::string> row = {MechanismKindName(p.kind),
+                                    Num(p.epsilon), Num(p.alpha),
+                                    p.feasible ? "1" : "0"};
+    if (p.feasible) {
+      row.push_back(Num(p.overall));
+      for (int s = 0; s < kNumStrata; ++s) {
+        row.push_back(Num(p.by_stratum[s]));
+      }
+      row.emplace_back();
+    } else {
+      row.insert(row.end(), 1 + kNumStrata, "");
+      row.push_back(p.infeasible_reason);
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, header, rows);
+}
+
+Result<std::vector<FigurePoint>> ReadFigurePointsCsv(
+    const std::string& path) {
+  EEP_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  const size_t expected_fields = 6 + kNumStrata;
+  if (doc.header.size() != expected_fields) {
+    return Status::InvalidArgument("unexpected column count in " + path);
+  }
+  std::vector<FigurePoint> points;
+  points.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    if (row.size() != expected_fields) {
+      return Status::InvalidArgument("ragged row in " + path);
+    }
+    FigurePoint p;
+    EEP_ASSIGN_OR_RETURN(p.kind, KindFromName(row[0]));
+    p.epsilon = std::strtod(row[1].c_str(), nullptr);
+    p.alpha = std::strtod(row[2].c_str(), nullptr);
+    p.feasible = row[3] == "1";
+    if (p.feasible) {
+      p.overall = std::strtod(row[4].c_str(), nullptr);
+      for (int s = 0; s < kNumStrata; ++s) {
+        p.by_stratum[s] = std::strtod(row[5 + s].c_str(), nullptr);
+      }
+    } else {
+      p.infeasible_reason = row.back();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+Status WriteTruncatedPointsCsv(
+    const std::vector<Workloads::TruncatedPoint>& points,
+    const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    rows.push_back({std::to_string(p.theta), Num(p.epsilon),
+                    std::to_string(p.removed_estabs),
+                    std::to_string(p.removed_jobs), Num(p.error_ratio),
+                    Num(p.spearman)});
+  }
+  return WriteCsvFile(path,
+                      {"theta", "epsilon", "removed_estabs", "removed_jobs",
+                       "error_ratio", "spearman"},
+                      rows);
+}
+
+}  // namespace eep::eval

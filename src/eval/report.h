@@ -1,0 +1,34 @@
+// Machine-readable experiment output: figure sweeps and truncation sweeps
+// serialized to CSV so results can be plotted or regression-compared
+// outside the bench binaries (all benches accept --csv=PATH).
+#ifndef EEP_EVAL_REPORT_H_
+#define EEP_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/workloads.h"
+
+namespace eep::eval {
+
+/// Writes one row per (mechanism, epsilon, alpha) point with overall and
+/// per-stratum values. Infeasible points carry empty value fields and the
+/// reason. Columns: mechanism, epsilon, alpha, feasible, overall,
+/// stratum0..stratum3, infeasible_reason.
+Status WriteFigurePointsCsv(const std::vector<FigurePoint>& points,
+                            const std::string& path);
+
+/// Parses a CSV previously written by WriteFigurePointsCsv (used by tests
+/// and by downstream tooling that diffs runs).
+Result<std::vector<FigurePoint>> ReadFigurePointsCsv(const std::string& path);
+
+/// Writes one row per Finding-6 point. Columns: theta, epsilon,
+/// removed_estabs, removed_jobs, error_ratio, spearman.
+Status WriteTruncatedPointsCsv(
+    const std::vector<Workloads::TruncatedPoint>& points,
+    const std::string& path);
+
+}  // namespace eep::eval
+
+#endif  // EEP_EVAL_REPORT_H_

@@ -1,0 +1,29 @@
+#include "eval/strata.h"
+
+namespace eep::eval {
+
+int StratumOf(int64_t population) {
+  if (population < 100) return 0;
+  if (population < 10000) return 1;
+  if (population < 100000) return 2;
+  return 3;
+}
+
+const std::string& StratumName(int stratum) {
+  static const std::array<std::string, kNumStrata> kNames = {
+      "0<=pop<100", "100<=pop<10k", "10k<=pop<100k", "pop>=100k"};
+  static const std::string kUnknown = "unknown";
+  if (stratum < 0 || stratum >= kNumStrata) return kUnknown;
+  return kNames[stratum];
+}
+
+void StratumTotals::Add(int stratum, double value) {
+  if (stratum >= 0 && stratum < kNumStrata) {
+    values[stratum] += value;
+    ++counts[stratum];
+  }
+  overall += value;
+  ++overall_count;
+}
+
+}  // namespace eep::eval

@@ -1,0 +1,35 @@
+// Census-place population strata used by every stratified panel in the
+// paper's figures: 0-100, 100-10k, 10k-100k, 100k+.
+#ifndef EEP_EVAL_STRATA_H_
+#define EEP_EVAL_STRATA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace eep::eval {
+
+/// Number of population strata.
+inline constexpr int kNumStrata = 4;
+
+/// Stratum index for a place population:
+/// 0: pop < 100, 1: 100 <= pop < 10k, 2: 10k <= pop < 100k, 3: pop >= 100k.
+int StratumOf(int64_t population);
+
+/// Display name of a stratum ("0 <= pop < 100", ...).
+const std::string& StratumName(int stratum);
+
+/// \brief A per-stratum accumulator of (numerator, denominator) pairs used
+/// for stratified error ratios.
+struct StratumTotals {
+  std::array<double, kNumStrata> values{};
+  std::array<int64_t, kNumStrata> counts{};
+  double overall = 0.0;
+  int64_t overall_count = 0;
+
+  void Add(int stratum, double value);
+};
+
+}  // namespace eep::eval
+
+#endif  // EEP_EVAL_STRATA_H_

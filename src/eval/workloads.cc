@@ -1,0 +1,255 @@
+#include "eval/workloads.h"
+
+#include "graph/truncation.h"
+#include "lodes/attributes.h"
+#include "mechanisms/geometric.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/log_laplace.h"
+#include "mechanisms/smooth_gamma.h"
+#include "mechanisms/smooth_laplace.h"
+#include "mechanisms/truncated_laplace.h"
+
+namespace eep::eval {
+
+const char* MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kLogLaplace: return "Log-Laplace";
+    case MechanismKind::kSmoothLaplace: return "Smooth Laplace";
+    case MechanismKind::kSmoothGamma: return "Smooth Gamma";
+    case MechanismKind::kEdgeLaplace: return "Edge-Laplace";
+    case MechanismKind::kSmoothGeometric: return "Smooth Geometric";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<mechanisms::CountMechanism>> MakeMechanism(
+    MechanismKind kind, double alpha, double epsilon, double delta) {
+  privacy::PrivacyParams params{alpha, epsilon, delta};
+  switch (kind) {
+    case MechanismKind::kLogLaplace: {
+      params.delta = 0.0;
+      EEP_ASSIGN_OR_RETURN(auto mech,
+                           mechanisms::LogLaplaceMechanism::Create(params));
+      // The paper omits Log-Laplace points with unbounded expectation
+      // (Lemma 8.2); treat them as infeasible grid points.
+      if (!mech.HasBoundedExpectation()) {
+        return Status::InvalidArgument(
+            "Log-Laplace expectation unbounded (lambda >= 1)");
+      }
+      return std::unique_ptr<mechanisms::CountMechanism>(
+          new mechanisms::LogLaplaceMechanism(mech));
+    }
+    case MechanismKind::kSmoothLaplace: {
+      EEP_ASSIGN_OR_RETURN(auto mech,
+                           mechanisms::SmoothLaplaceMechanism::Create(params));
+      return std::unique_ptr<mechanisms::CountMechanism>(
+          new mechanisms::SmoothLaplaceMechanism(mech));
+    }
+    case MechanismKind::kSmoothGamma: {
+      params.delta = 0.0;
+      EEP_ASSIGN_OR_RETURN(auto mech,
+                           mechanisms::SmoothGammaMechanism::Create(params));
+      return std::unique_ptr<mechanisms::CountMechanism>(
+          new mechanisms::SmoothGammaMechanism(mech));
+    }
+    case MechanismKind::kEdgeLaplace: {
+      EEP_ASSIGN_OR_RETURN(auto mech,
+                           mechanisms::EdgeLaplaceMechanism::Create(epsilon));
+      return std::unique_ptr<mechanisms::CountMechanism>(
+          new mechanisms::EdgeLaplaceMechanism(mech));
+    }
+    case MechanismKind::kSmoothGeometric: {
+      EEP_ASSIGN_OR_RETURN(auto mech,
+                           mechanisms::GeometricMechanism::Create(params));
+      return std::unique_ptr<mechanisms::CountMechanism>(
+          new mechanisms::GeometricMechanism(mech));
+    }
+  }
+  return Status::InvalidArgument("unknown mechanism kind");
+}
+
+int64_t Workloads::FemaleCollegeSlice() {
+  // Worker-attr key packing for {sex, education}: sex * |education| + edu.
+  return static_cast<int64_t>(lodes::FemaleCode()) *
+             static_cast<int64_t>(lodes::EducationCodes().size()) +
+         static_cast<int64_t>(lodes::CollegeCode());
+}
+
+Result<const lodes::MarginalQuery*> Workloads::EstabMarginal() {
+  if (!estab_marginal_.has_value()) {
+    EEP_ASSIGN_OR_RETURN(
+        lodes::MarginalQuery q,
+        lodes::MarginalQuery::Compute(
+            *data_, lodes::MarginalSpec::EstablishmentMarginal()));
+    estab_marginal_.emplace(std::move(q));
+  }
+  return &*estab_marginal_;
+}
+
+Result<const lodes::MarginalQuery*> Workloads::SexEduMarginal() {
+  if (!sexedu_marginal_.has_value()) {
+    EEP_ASSIGN_OR_RETURN(
+        lodes::MarginalQuery q,
+        lodes::MarginalQuery::Compute(
+            *data_, lodes::MarginalSpec::WorkplaceBySexEducation()));
+    sexedu_marginal_.emplace(std::move(q));
+  }
+  return &*sexedu_marginal_;
+}
+
+namespace {
+
+CellFilter SliceFilter(std::optional<int64_t> worker_slice,
+                       int64_t worker_domain) {
+  if (!worker_slice.has_value()) return nullptr;
+  const uint64_t slice = static_cast<uint64_t>(*worker_slice);
+  const uint64_t domain = static_cast<uint64_t>(worker_domain);
+  return [slice, domain](const lodes::MarginalCell& cell) {
+    return cell.key % domain == slice;
+  };
+}
+
+}  // namespace
+
+Result<std::vector<FigurePoint>> Workloads::RatioSweep(
+    const lodes::MarginalQuery& query, const WorkloadGrids& grids,
+    double budget_divisor, std::optional<int64_t> worker_slice) {
+  std::vector<FigurePoint> points;
+  const CellFilter filter =
+      SliceFilter(worker_slice, query.WorkerDomainSize());
+  for (MechanismKind kind : grids.kinds) {
+    for (double epsilon : grids.epsilons) {
+      for (double alpha : grids.alphas) {
+        FigurePoint point;
+        point.kind = kind;
+        point.epsilon = epsilon;
+        point.alpha = alpha;
+        auto mech = MakeMechanism(kind, alpha, epsilon / budget_divisor,
+                                  grids.delta);
+        if (!mech.ok()) {
+          point.feasible = false;
+          point.infeasible_reason = mech.status().message();
+          points.push_back(std::move(point));
+          continue;
+        }
+        EEP_ASSIGN_OR_RETURN(ErrorRatioResult ratio,
+                             runner_.ErrorRatio(query, *mech.value(),
+                                                filter));
+        point.feasible = true;
+        point.overall = ratio.overall_ratio;
+        point.by_stratum = ratio.stratum_ratio;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+Result<std::vector<FigurePoint>> Workloads::RankingSweep(
+    const lodes::MarginalQuery& query, const WorkloadGrids& grids,
+    double budget_divisor, std::optional<int64_t> worker_slice) {
+  std::vector<FigurePoint> points;
+  const CellFilter filter =
+      SliceFilter(worker_slice, query.WorkerDomainSize());
+  for (MechanismKind kind : grids.kinds) {
+    for (double epsilon : grids.epsilons) {
+      for (double alpha : grids.alphas) {
+        FigurePoint point;
+        point.kind = kind;
+        point.epsilon = epsilon;
+        point.alpha = alpha;
+        auto mech = MakeMechanism(kind, alpha, epsilon / budget_divisor,
+                                  grids.delta);
+        if (!mech.ok()) {
+          point.feasible = false;
+          point.infeasible_reason = mech.status().message();
+          points.push_back(std::move(point));
+          continue;
+        }
+        EEP_ASSIGN_OR_RETURN(
+            StratifiedCorrelation corr,
+            runner_.RankingCorrelation(query, *mech.value(), filter));
+        point.feasible = true;
+        point.overall = corr.overall;
+        point.by_stratum = corr.by_stratum;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  return points;
+}
+
+Result<std::vector<FigurePoint>> Workloads::Figure1(
+    const WorkloadGrids& grids) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, EstabMarginal());
+  // Establishment-only marginal: cells parallel-compose (Thm 7.4) so the
+  // full budget goes to each cell.
+  return RatioSweep(*query, grids, /*budget_divisor=*/1.0, std::nullopt);
+}
+
+Result<std::vector<FigurePoint>> Workloads::Figure2(
+    const WorkloadGrids& grids) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, EstabMarginal());
+  return RankingSweep(*query, grids, /*budget_divisor=*/1.0, std::nullopt);
+}
+
+Result<std::vector<FigurePoint>> Workloads::Figure3(
+    const WorkloadGrids& grids) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, SexEduMarginal());
+  // A single (sex, education) query: one cell per workplace combination,
+  // weak privacy, parallel composition across establishments -> per-cell
+  // budget is the full epsilon. We use the (female, BA+) slice.
+  return RatioSweep(*query, grids, /*budget_divisor=*/1.0,
+                    FemaleCollegeSlice());
+}
+
+Result<std::vector<FigurePoint>> Workloads::Figure4(
+    const WorkloadGrids& grids) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, SexEduMarginal());
+  // The full worker x workplace marginal under weak privacy: Thm 7.5 does
+  // not apply, so the d = |dom(sex) x dom(edu)| cells of one establishment
+  // compose sequentially and each cell gets epsilon / d.
+  const double d = static_cast<double>(query->WorkerDomainSize());
+  return RatioSweep(*query, grids, /*budget_divisor=*/d, std::nullopt);
+}
+
+Result<std::vector<FigurePoint>> Workloads::Figure5(
+    const WorkloadGrids& grids) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, SexEduMarginal());
+  return RankingSweep(*query, grids, /*budget_divisor=*/1.0,
+                      FemaleCollegeSlice());
+}
+
+Result<std::vector<Workloads::TruncatedPoint>> Workloads::Finding6(
+    const std::vector<int64_t>& thetas,
+    const std::vector<double>& epsilons) {
+  EEP_ASSIGN_OR_RETURN(const lodes::MarginalQuery* query, EstabMarginal());
+  EEP_ASSIGN_OR_RETURN(graph::BipartiteGraph g, data_->BuildGraph());
+  std::vector<TruncatedPoint> points;
+  for (int64_t theta : thetas) {
+    EEP_ASSIGN_OR_RETURN(graph::TruncationResult truncation,
+                         graph::TruncateByDegree(g, theta));
+    for (double epsilon : epsilons) {
+      EEP_ASSIGN_OR_RETURN(
+          auto mech,
+          mechanisms::TruncatedLaplaceMechanism::Create(
+              theta, epsilon, truncation.removed_estabs));
+      TruncatedPoint point;
+      point.theta = theta;
+      point.epsilon = epsilon;
+      point.removed_estabs =
+          static_cast<int64_t>(truncation.removed_estabs.size());
+      point.removed_jobs = truncation.removed_edges;
+      EEP_ASSIGN_OR_RETURN(ErrorRatioResult ratio,
+                           runner_.ErrorRatio(*query, mech, nullptr));
+      point.error_ratio = ratio.overall_ratio;
+      EEP_ASSIGN_OR_RETURN(StratifiedCorrelation corr,
+                           runner_.RankingCorrelation(*query, mech, nullptr));
+      point.spearman = corr.overall;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace eep::eval

@@ -1,0 +1,130 @@
+// The paper's evaluation workloads (Section 10), one function per figure:
+//
+//   Workload 1 / Figure 1: L1 error ratio on the establishment marginal
+//     (place x industry x ownership), strong (alpha,eps)-ER-EE privacy.
+//   Ranking 1 / Figure 2:  Spearman correlation of cells of that marginal
+//     ranked by total count.
+//   Workload 2 / Figure 3: L1 error ratio for a single (sex x education)
+//     query on the workplace marginal, weak privacy, per-cell budget eps.
+//   Workload 3 / Figure 4: L1 error ratio for the full workplace x sex x
+//     education marginal, weak privacy; the budget is split across the
+//     d = |dom(sex) x dom(education)| = 8 worker cells (per-cell eps/d).
+//   Ranking 2 / Figure 5:  Spearman correlation of establishment cells
+//     ranked by "females with a college degree".
+//   Finding 6: the Truncated Laplace node-DP baseline on Workload 1 and
+//     Ranking 1 across truncation thresholds theta.
+#ifndef EEP_EVAL_WORKLOADS_H_
+#define EEP_EVAL_WORKLOADS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "lodes/dataset.h"
+#include "lodes/marginal.h"
+#include "mechanisms/mechanism.h"
+
+namespace eep::eval {
+
+/// Formally private mechanisms compared in the figures.
+enum class MechanismKind {
+  kLogLaplace,
+  kSmoothLaplace,
+  kSmoothGamma,
+  kEdgeLaplace,       ///< Section 6 edge-DP baseline (not plotted by paper).
+  kSmoothGeometric,   ///< Integer extension (ablation).
+};
+
+const char* MechanismKindName(MechanismKind kind);
+
+/// Builds a mechanism instance for one grid point; fails when the
+/// (alpha, epsilon, delta) combination is infeasible for that mechanism —
+/// those are the missing points in the paper's plots.
+Result<std::unique_ptr<mechanisms::CountMechanism>> MakeMechanism(
+    MechanismKind kind, double alpha, double epsilon, double delta);
+
+/// \brief One plotted point of a figure.
+struct FigurePoint {
+  MechanismKind kind = MechanismKind::kLogLaplace;
+  double epsilon = 0.0;  ///< Total privacy-loss budget (figure x-axis).
+  double alpha = 0.0;
+  bool feasible = false;
+  std::string infeasible_reason;
+  /// Error ratio (Figures 1/3/4) or Spearman correlation (Figures 2/5).
+  double overall = 0.0;
+  std::array<double, kNumStrata> by_stratum{};
+};
+
+/// \brief Parameter grids shared by the figure workloads.
+struct WorkloadGrids {
+  std::vector<double> epsilons = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<double> alphas = {0.01, 0.05, 0.1, 0.15, 0.2};
+  /// Failure probability for Smooth Laplace / Smooth Geometric (the
+  /// paper's figures use 0.05).
+  double delta = 0.05;
+  std::vector<MechanismKind> kinds = {MechanismKind::kLogLaplace,
+                                      MechanismKind::kSmoothLaplace,
+                                      MechanismKind::kSmoothGamma};
+};
+
+/// \brief Computes the figure series for one dataset.
+class Workloads {
+ public:
+  Workloads(const lodes::LodesDataset* data, ExperimentConfig config)
+      : data_(data), runner_(data, config) {}
+
+  /// Figures 1-5 (see file header). Points are emitted for the full grid;
+  /// infeasible combinations carry feasible=false and a reason.
+  Result<std::vector<FigurePoint>> Figure1(const WorkloadGrids& grids);
+  Result<std::vector<FigurePoint>> Figure2(const WorkloadGrids& grids);
+  Result<std::vector<FigurePoint>> Figure3(const WorkloadGrids& grids);
+  Result<std::vector<FigurePoint>> Figure4(const WorkloadGrids& grids);
+  Result<std::vector<FigurePoint>> Figure5(const WorkloadGrids& grids);
+
+  /// \brief One Finding-6 point: Truncated Laplace at (theta, epsilon).
+  struct TruncatedPoint {
+    int64_t theta = 0;
+    double epsilon = 0.0;
+    double error_ratio = 0.0;
+    double spearman = 0.0;
+    int64_t removed_estabs = 0;
+    int64_t removed_jobs = 0;
+  };
+  Result<std::vector<TruncatedPoint>> Finding6(
+      const std::vector<int64_t>& thetas, const std::vector<double>& epsilons);
+
+  /// The worker-cell index of the (female, BA+) slice used by Workload 2
+  /// and Ranking 2.
+  static int64_t FemaleCollegeSlice();
+
+  /// Access to the underlying runner (for custom experiments).
+  ExperimentRunner& runner() { return runner_; }
+
+ private:
+  /// Lazily computed marginals (shared across grid points).
+  Result<const lodes::MarginalQuery*> EstabMarginal();
+  Result<const lodes::MarginalQuery*> SexEduMarginal();
+
+  /// Error-ratio grid sweep over (kind, epsilon, alpha) with per-cell
+  /// budget epsilon/budget_divisor, optionally restricted to one worker
+  /// slice.
+  Result<std::vector<FigurePoint>> RatioSweep(
+      const lodes::MarginalQuery& query, const WorkloadGrids& grids,
+      double budget_divisor, std::optional<int64_t> worker_slice);
+
+  /// Ranking sweep (Spearman vs SDL), same parameterization.
+  Result<std::vector<FigurePoint>> RankingSweep(
+      const lodes::MarginalQuery& query, const WorkloadGrids& grids,
+      double budget_divisor, std::optional<int64_t> worker_slice);
+
+  const lodes::LodesDataset* data_;
+  ExperimentRunner runner_;
+  std::optional<lodes::MarginalQuery> estab_marginal_;
+  std::optional<lodes::MarginalQuery> sexedu_marginal_;
+};
+
+}  // namespace eep::eval
+
+#endif  // EEP_EVAL_WORKLOADS_H_

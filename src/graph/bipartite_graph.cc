@@ -1,0 +1,77 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace eep::graph {
+
+namespace {
+const std::vector<int64_t> kEmpty;
+}  // namespace
+
+Result<BipartiteGraph> BipartiteGraph::Create(std::vector<Edge> edges) {
+  BipartiteGraph g;
+  std::unordered_set<int64_t> workers;
+  std::unordered_set<uint64_t> seen_pairs;
+  seen_pairs.reserve(edges.size());
+  for (const Edge& e : edges) {
+    // Cheap pair fingerprint; ids in this codebase are dense and < 2^31.
+    const uint64_t pair = (static_cast<uint64_t>(e.worker_id) << 32) ^
+                          static_cast<uint64_t>(e.estab_id & 0xFFFFFFFF);
+    if (!seen_pairs.insert(pair).second) {
+      return Status::InvalidArgument("duplicate job edge for worker " +
+                                     std::to_string(e.worker_id));
+    }
+    g.by_estab_[e.estab_id].push_back(e.worker_id);
+    workers.insert(e.worker_id);
+  }
+  g.edges_ = std::move(edges);
+  g.num_workers_ = static_cast<int64_t>(workers.size());
+  for (auto& [estab, ws] : g.by_estab_) std::sort(ws.begin(), ws.end());
+  return g;
+}
+
+int64_t BipartiteGraph::EstabDegree(int64_t estab_id) const {
+  auto it = by_estab_.find(estab_id);
+  if (it == by_estab_.end()) return 0;
+  return static_cast<int64_t>(it->second.size());
+}
+
+std::vector<std::pair<int64_t, int64_t>> BipartiteGraph::EstabDegrees() const {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(by_estab_.size());
+  for (const auto& [estab, ws] : by_estab_) {
+    out.emplace_back(estab, static_cast<int64_t>(ws.size()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> BipartiteGraph::DegreeHistogram() const {
+  std::vector<int64_t> hist(static_cast<size_t>(MaxEstabDegree()) + 1, 0);
+  for (const auto& [estab, ws] : by_estab_) ++hist[ws.size()];
+  return hist;
+}
+
+int64_t BipartiteGraph::MaxEstabDegree() const {
+  int64_t best = 0;
+  for (const auto& [estab, ws] : by_estab_) {
+    best = std::max(best, static_cast<int64_t>(ws.size()));
+  }
+  return best;
+}
+
+int64_t BipartiteGraph::CountEstablishmentsAbove(int64_t threshold) const {
+  int64_t n = 0;
+  for (const auto& [estab, ws] : by_estab_) {
+    if (static_cast<int64_t>(ws.size()) > threshold) ++n;
+  }
+  return n;
+}
+
+const std::vector<int64_t>& BipartiteGraph::WorkersAt(int64_t estab_id) const {
+  auto it = by_estab_.find(estab_id);
+  return it == by_estab_.end() ? kEmpty : it->second;
+}
+
+}  // namespace eep::graph

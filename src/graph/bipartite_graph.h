@@ -1,0 +1,68 @@
+// Bipartite employer-employee graph view (Section 6 of the paper): workers
+// and establishments are nodes, jobs are edges. Edge- and node-differential
+// privacy notions are phrased over this graph.
+#ifndef EEP_GRAPH_BIPARTITE_GRAPH_H_
+#define EEP_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eep::graph {
+
+/// One job edge: worker `worker_id` employed at establishment `estab_id`.
+struct Edge {
+  int64_t worker_id = 0;
+  int64_t estab_id = 0;
+};
+
+/// \brief Adjacency view of the ER-EE bipartite graph, indexed by
+/// establishment (the side whose degrees — employment counts — the paper's
+/// mechanisms protect).
+class BipartiteGraph {
+ public:
+  /// Builds from edges. Fails if the same (worker, estab) pair repeats
+  /// (each worker holds at most one job per establishment in LODES, and we
+  /// assume exactly one job overall, as the paper does).
+  static Result<BipartiteGraph> Create(std::vector<Edge> edges);
+
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  int64_t num_establishments() const {
+    return static_cast<int64_t>(by_estab_.size());
+  }
+  int64_t num_workers() const { return num_workers_; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Degree (employment count) of an establishment; 0 when absent.
+  int64_t EstabDegree(int64_t estab_id) const;
+
+  /// All (estab_id, degree) pairs, sorted by estab_id.
+  std::vector<std::pair<int64_t, int64_t>> EstabDegrees() const;
+
+  /// Degree distribution histogram: result[d] = number of establishments
+  /// with degree exactly d, up to and including max degree.
+  std::vector<int64_t> DegreeHistogram() const;
+
+  /// Maximum establishment degree (0 for an empty graph).
+  int64_t MaxEstabDegree() const;
+
+  /// Number of establishments with degree strictly greater than `threshold`
+  /// — the quantity the paper reports for theta = 1000 in Section 6.
+  int64_t CountEstablishmentsAbove(int64_t threshold) const;
+
+  /// Worker ids employed at `estab_id` (empty when absent).
+  const std::vector<int64_t>& WorkersAt(int64_t estab_id) const;
+
+ private:
+  BipartiteGraph() = default;
+  std::vector<Edge> edges_;
+  std::unordered_map<int64_t, std::vector<int64_t>> by_estab_;
+  int64_t num_workers_ = 0;
+};
+
+}  // namespace eep::graph
+
+#endif  // EEP_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,25 @@
+#include "graph/truncation.h"
+
+namespace eep::graph {
+
+Result<TruncationResult> TruncateByDegree(const BipartiteGraph& graph,
+                                          int64_t theta) {
+  if (theta < 1) {
+    return Status::InvalidArgument("truncation threshold must be >= 1");
+  }
+  TruncationResult result;
+  for (const auto& [estab, degree] : graph.EstabDegrees()) {
+    if (degree > theta) result.removed_estabs.insert(estab);
+  }
+  result.kept_edges.reserve(graph.edges().size());
+  for (const Edge& e : graph.edges()) {
+    if (result.removed_estabs.count(e.estab_id)) {
+      ++result.removed_edges;
+    } else {
+      result.kept_edges.push_back(e);
+    }
+  }
+  return result;
+}
+
+}  // namespace eep::graph

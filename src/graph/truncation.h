@@ -1,0 +1,35 @@
+// Degree truncation projection for node-differential privacy (Section 6):
+// remove every establishment whose degree exceeds theta so that edge-count
+// queries have sensitivity theta under node neighbors.
+#ifndef EEP_GRAPH_TRUNCATION_H_
+#define EEP_GRAPH_TRUNCATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace eep::graph {
+
+/// \brief Outcome of truncating a graph at degree theta.
+struct TruncationResult {
+  /// Establishments removed (degree > theta).
+  std::unordered_set<int64_t> removed_estabs;
+  /// Edges (jobs) lost with them.
+  int64_t removed_edges = 0;
+  /// Surviving edges.
+  std::vector<Edge> kept_edges;
+};
+
+/// Removes all establishments with degree > theta ("truncation" projection
+/// of Kasiviswanathan et al., applied to the ER-EE graph). After this
+/// projection, any per-cell employment count changes by at most theta when
+/// one establishment (node) is added or removed, so Laplace(theta/epsilon)
+/// noise yields node-DP. Fails when theta < 1.
+Result<TruncationResult> TruncateByDegree(const BipartiteGraph& graph,
+                                          int64_t theta);
+
+}  // namespace eep::graph
+
+#endif  // EEP_GRAPH_TRUNCATION_H_

@@ -1,0 +1,134 @@
+#include "lodes/attributes.h"
+
+namespace eep::lodes {
+
+const std::vector<std::string>& NaicsSectors() {
+  static const std::vector<std::string> kSectors = {
+      "11", "21", "22", "23", "31-33", "42", "44-45", "48-49", "51", "52",
+      "53", "54", "55", "56", "61", "62", "71", "72", "81", "92"};
+  return kSectors;
+}
+
+const std::vector<std::string>& OwnershipCodes() {
+  static const std::vector<std::string> kOwnership = {"Private", "StateLocal",
+                                                      "Federal"};
+  return kOwnership;
+}
+
+const std::vector<std::string>& SexCodes() {
+  static const std::vector<std::string> kSex = {"M", "F"};
+  return kSex;
+}
+
+const std::vector<std::string>& AgeBins() {
+  static const std::vector<std::string> kAge = {"14-18", "19-21", "22-24",
+                                                "25-34", "35-44", "45-54",
+                                                "55-64", "65+"};
+  return kAge;
+}
+
+const std::vector<std::string>& RaceCodes() {
+  static const std::vector<std::string> kRace = {
+      "White", "Black", "AmIndian", "Asian", "Pacific", "TwoOrMore"};
+  return kRace;
+}
+
+const std::vector<std::string>& EthnicityCodes() {
+  static const std::vector<std::string> kEthnicity = {"NotHispanic",
+                                                      "Hispanic"};
+  return kEthnicity;
+}
+
+const std::vector<std::string>& EducationCodes() {
+  static const std::vector<std::string> kEducation = {"LessThanHS", "HS",
+                                                      "SomeCollege", "BA+"};
+  return kEducation;
+}
+
+uint32_t FemaleCode() { return 1; }   // "F" in SexCodes()
+uint32_t CollegeCode() { return 3; }  // "BA+" in EducationCodes()
+
+Result<AttributeDomains> AttributeDomains::Create(
+    std::vector<PlaceInfo> places) {
+  if (places.empty()) {
+    return Status::InvalidArgument("AttributeDomains needs >= 1 place");
+  }
+  AttributeDomains d;
+  std::vector<std::string> place_names;
+  place_names.reserve(places.size());
+  for (const auto& p : places) {
+    if (p.name.empty()) {
+      return Status::InvalidArgument("place with empty name");
+    }
+    place_names.push_back(p.name);
+  }
+  EEP_ASSIGN_OR_RETURN(d.place_dict_,
+                       table::Dictionary::Create(std::move(place_names)));
+  EEP_ASSIGN_OR_RETURN(d.naics_dict_, table::Dictionary::Create(NaicsSectors()));
+  EEP_ASSIGN_OR_RETURN(d.ownership_dict_,
+                       table::Dictionary::Create(OwnershipCodes()));
+  EEP_ASSIGN_OR_RETURN(d.sex_dict_, table::Dictionary::Create(SexCodes()));
+  EEP_ASSIGN_OR_RETURN(d.age_dict_, table::Dictionary::Create(AgeBins()));
+  EEP_ASSIGN_OR_RETURN(d.race_dict_, table::Dictionary::Create(RaceCodes()));
+  EEP_ASSIGN_OR_RETURN(d.ethnicity_dict_,
+                       table::Dictionary::Create(EthnicityCodes()));
+  EEP_ASSIGN_OR_RETURN(d.education_dict_,
+                       table::Dictionary::Create(EducationCodes()));
+  d.places_ = std::move(places);
+  return d;
+}
+
+Result<std::shared_ptr<const table::Dictionary>> AttributeDomains::DictFor(
+    const std::string& column) const {
+  if (column == kColPlace) return place_dict_;
+  if (column == kColNaics) return naics_dict_;
+  if (column == kColOwnership) return ownership_dict_;
+  if (column == kColSex) return sex_dict_;
+  if (column == kColAge) return age_dict_;
+  if (column == kColRace) return race_dict_;
+  if (column == kColEthnicity) return ethnicity_dict_;
+  if (column == kColEducation) return education_dict_;
+  return Status::NotFound("no dictionary for column " + column);
+}
+
+Result<table::Schema> AttributeDomains::WorkerSchema() const {
+  using table::DataType;
+  return table::Schema::Create({
+      {kColWorkerId, DataType::kInt64, nullptr},
+      {kColSex, DataType::kCategory, sex_dict_},
+      {kColAge, DataType::kCategory, age_dict_},
+      {kColRace, DataType::kCategory, race_dict_},
+      {kColEthnicity, DataType::kCategory, ethnicity_dict_},
+      {kColEducation, DataType::kCategory, education_dict_},
+  });
+}
+
+Result<table::Schema> AttributeDomains::WorkplaceSchema() const {
+  using table::DataType;
+  return table::Schema::Create({
+      {kColEstabId, DataType::kInt64, nullptr},
+      {kColNaics, DataType::kCategory, naics_dict_},
+      {kColOwnership, DataType::kCategory, ownership_dict_},
+      {kColPlace, DataType::kCategory, place_dict_},
+  });
+}
+
+Result<table::Schema> AttributeDomains::JobSchema() const {
+  using table::DataType;
+  return table::Schema::Create({
+      {kColWorkerId, DataType::kInt64, nullptr},
+      {kColEstabId, DataType::kInt64, nullptr},
+  });
+}
+
+bool AttributeDomains::IsWorkerAttribute(const std::string& column) {
+  return column == kColSex || column == kColAge || column == kColRace ||
+         column == kColEthnicity || column == kColEducation;
+}
+
+bool AttributeDomains::IsWorkplaceAttribute(const std::string& column) {
+  return column == kColPlace || column == kColNaics ||
+         column == kColOwnership;
+}
+
+}  // namespace eep::lodes

@@ -1,0 +1,121 @@
+// Attribute domains of the LODES schema (Section 3.1 of the paper):
+// Workplace attributes (NAICS sector, ownership, Census place) are public;
+// Worker attributes (age, sex, race, ethnicity, education) are private.
+#ifndef EEP_LODES_ATTRIBUTES_H_
+#define EEP_LODES_ATTRIBUTES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace eep::lodes {
+
+/// Canonical column names used throughout the library.
+inline constexpr const char* kColWorkerId = "worker_id";
+inline constexpr const char* kColEstabId = "estab_id";
+inline constexpr const char* kColPlace = "place";
+inline constexpr const char* kColNaics = "naics";
+inline constexpr const char* kColOwnership = "ownership";
+inline constexpr const char* kColSex = "sex";
+inline constexpr const char* kColAge = "age";
+inline constexpr const char* kColRace = "race";
+inline constexpr const char* kColEthnicity = "ethnicity";
+inline constexpr const char* kColEducation = "education";
+
+/// The 20 two-digit NAICS sector codes used by LODES/QWI publications.
+const std::vector<std::string>& NaicsSectors();
+
+/// Ownership codes. LODES distinguishes private and public employers; we use
+/// a three-way split so public-sector heterogeneity exists in the data.
+const std::vector<std::string>& OwnershipCodes();
+
+/// Worker attribute domains (LODES-style bins).
+const std::vector<std::string>& SexCodes();        // 2 values
+const std::vector<std::string>& AgeBins();         // 8 values
+const std::vector<std::string>& RaceCodes();       // 6 values
+const std::vector<std::string>& EthnicityCodes();  // 2 values
+const std::vector<std::string>& EducationCodes();  // 4 values
+
+/// Index of the "female" code in SexCodes() and the "BA+" code in
+/// EducationCodes(), used by Ranking 2 (females with a college degree).
+uint32_t FemaleCode();
+uint32_t CollegeCode();
+
+/// \brief One Census place (city/town/CDP) with its decennial population.
+///
+/// Population is public data (the paper stratifies error by it); it is not a
+/// protected attribute.
+struct PlaceInfo {
+  std::string name;
+  int64_t population = 0;
+};
+
+/// \brief Shared dictionaries for all categorical LODES columns.
+///
+/// Places are dataset-specific (the generator decides how many), so the set
+/// is built per dataset; the remaining domains are fixed.
+class AttributeDomains {
+ public:
+  /// Builds domains for the given places. Fails on empty/duplicate names.
+  static Result<AttributeDomains> Create(std::vector<PlaceInfo> places);
+
+  const std::vector<PlaceInfo>& places() const { return places_; }
+
+  std::shared_ptr<const table::Dictionary> place_dict() const {
+    return place_dict_;
+  }
+  std::shared_ptr<const table::Dictionary> naics_dict() const {
+    return naics_dict_;
+  }
+  std::shared_ptr<const table::Dictionary> ownership_dict() const {
+    return ownership_dict_;
+  }
+  std::shared_ptr<const table::Dictionary> sex_dict() const { return sex_dict_; }
+  std::shared_ptr<const table::Dictionary> age_dict() const { return age_dict_; }
+  std::shared_ptr<const table::Dictionary> race_dict() const {
+    return race_dict_;
+  }
+  std::shared_ptr<const table::Dictionary> ethnicity_dict() const {
+    return ethnicity_dict_;
+  }
+  std::shared_ptr<const table::Dictionary> education_dict() const {
+    return education_dict_;
+  }
+
+  /// Dictionary for a canonical column name, or NotFound.
+  Result<std::shared_ptr<const table::Dictionary>> DictFor(
+      const std::string& column) const;
+
+  /// Schema of the Worker table: worker_id + 5 worker attributes.
+  Result<table::Schema> WorkerSchema() const;
+  /// Schema of the Workplace table: estab_id + 3 workplace attributes.
+  Result<table::Schema> WorkplaceSchema() const;
+  /// Schema of the Job table: worker_id, estab_id.
+  Result<table::Schema> JobSchema() const;
+
+  /// True if `column` names a worker attribute (sex/age/race/ethnicity/
+  /// education).
+  static bool IsWorkerAttribute(const std::string& column);
+  /// True if `column` names a workplace attribute (place/naics/ownership).
+  static bool IsWorkplaceAttribute(const std::string& column);
+
+ private:
+  AttributeDomains() = default;
+  std::vector<PlaceInfo> places_;
+  std::shared_ptr<const table::Dictionary> place_dict_;
+  std::shared_ptr<const table::Dictionary> naics_dict_;
+  std::shared_ptr<const table::Dictionary> ownership_dict_;
+  std::shared_ptr<const table::Dictionary> sex_dict_;
+  std::shared_ptr<const table::Dictionary> age_dict_;
+  std::shared_ptr<const table::Dictionary> race_dict_;
+  std::shared_ptr<const table::Dictionary> ethnicity_dict_;
+  std::shared_ptr<const table::Dictionary> education_dict_;
+};
+
+}  // namespace eep::lodes
+
+#endif  // EEP_LODES_ATTRIBUTES_H_

@@ -1,0 +1,72 @@
+// LodesDataset: the three normalized LODES tables plus the WorkerFull join
+// (Section 3.1) and the bipartite-graph view (Section 6).
+#ifndef EEP_LODES_DATASET_H_
+#define EEP_LODES_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+#include "lodes/attributes.h"
+#include "table/table.h"
+
+namespace eep::lodes {
+
+/// \brief The universal ER-EE relation: Worker, Workplace and Job tables,
+/// their join (WorkerFull, one record per job carrying all attributes), and
+/// the public place metadata.
+class LodesDataset {
+ public:
+  /// Builds the dataset and materializes WorkerFull via hash joins
+  /// (Job ⋈ Worker on worker_id, then ⋈ Workplace on estab_id).
+  /// Fails if any job references a missing worker or workplace, or if a
+  /// worker holds more than one job (the paper's assumption).
+  static Result<LodesDataset> Create(AttributeDomains domains,
+                                     table::Table workers,
+                                     table::Table workplaces,
+                                     table::Table jobs);
+
+  const AttributeDomains& domains() const { return domains_; }
+  const std::vector<PlaceInfo>& places() const { return domains_.places(); }
+
+  const table::Table& workers() const { return workers_; }
+  const table::Table& workplaces() const { return workplaces_; }
+  const table::Table& jobs() const { return jobs_; }
+  /// The joined universal relation (one row per job, all attributes).
+  const table::Table& worker_full() const { return worker_full_; }
+
+  int64_t num_jobs() const { return static_cast<int64_t>(jobs_.num_rows()); }
+  int64_t num_workers() const {
+    return static_cast<int64_t>(workers_.num_rows());
+  }
+  int64_t num_establishments() const {
+    return static_cast<int64_t>(workplaces_.num_rows());
+  }
+
+  /// Population of the place with the given dictionary code.
+  Result<int64_t> PlacePopulation(uint32_t place_code) const;
+
+  /// Bipartite job graph (workers x establishments).
+  Result<graph::BipartiteGraph> BuildGraph() const;
+
+ private:
+  LodesDataset(AttributeDomains domains, table::Table workers,
+               table::Table workplaces, table::Table jobs,
+               table::Table worker_full)
+      : domains_(std::move(domains)),
+        workers_(std::move(workers)),
+        workplaces_(std::move(workplaces)),
+        jobs_(std::move(jobs)),
+        worker_full_(std::move(worker_full)) {}
+
+  AttributeDomains domains_;
+  table::Table workers_;
+  table::Table workplaces_;
+  table::Table jobs_;
+  table::Table worker_full_;
+};
+
+}  // namespace eep::lodes
+
+#endif  // EEP_LODES_DATASET_H_

@@ -1,0 +1,30 @@
+// CSV persistence for LODES datasets: the adoption path for users who
+// bring their own confidential extract instead of the synthetic generator.
+// Four files in a directory:
+//   places.csv      name,population
+//   workplaces.csv  estab_id,naics,ownership,place
+//   workers.csv     worker_id,sex,age,race,ethnicity,education
+//   jobs.csv        worker_id,estab_id
+// Categorical values are stored as their dictionary strings, so the files
+// are human-readable and diffable.
+#ifndef EEP_LODES_IO_H_
+#define EEP_LODES_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lodes/dataset.h"
+
+namespace eep::lodes {
+
+/// Writes the four CSV files into `dir` (which must already exist).
+Status SaveDataset(const LodesDataset& data, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset (or hand-authored in
+/// the same layout). Validates referential integrity and dictionary
+/// membership; fails with a descriptive status on any malformed row.
+Result<LodesDataset> LoadDataset(const std::string& dir);
+
+}  // namespace eep::lodes
+
+#endif  // EEP_LODES_IO_H_

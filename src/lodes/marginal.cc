@@ -1,0 +1,164 @@
+#include "lodes/marginal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace eep::lodes {
+
+std::vector<std::string> MarginalSpec::AllColumns() const {
+  std::vector<std::string> all = workplace_attrs;
+  all.insert(all.end(), worker_attrs.begin(), worker_attrs.end());
+  return all;
+}
+
+MarginalSpec MarginalSpec::EstablishmentMarginal() {
+  return {{kColPlace, kColNaics, kColOwnership}, {}};
+}
+
+MarginalSpec MarginalSpec::WorkplaceBySexEducation() {
+  return {{kColPlace, kColNaics, kColOwnership}, {kColSex, kColEducation}};
+}
+
+MarginalSpec MarginalSpec::FullDemographics() {
+  return {{kColNaics, kColOwnership},
+          {kColSex, kColAge, kColRace, kColEthnicity, kColEducation}};
+}
+
+Status MarginalSpec::Validate() const {
+  if (workplace_attrs.empty() && worker_attrs.empty()) {
+    return Status::InvalidArgument("marginal needs at least one attribute");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& col : workplace_attrs) {
+    if (!AttributeDomains::IsWorkplaceAttribute(col)) {
+      return Status::InvalidArgument("'" + col +
+                                     "' is not a workplace attribute");
+    }
+    if (!seen.insert(col).second) {
+      return Status::InvalidArgument("duplicate attribute " + col);
+    }
+  }
+  for (const auto& col : worker_attrs) {
+    if (!AttributeDomains::IsWorkerAttribute(col)) {
+      return Status::InvalidArgument("'" + col +
+                                     "' is not a worker attribute");
+    }
+    if (!seen.insert(col).second) {
+      return Status::InvalidArgument("duplicate attribute " + col);
+    }
+  }
+  return Status::OK();
+}
+
+Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
+                                             const MarginalSpec& spec) {
+  EEP_RETURN_NOT_OK(spec.Validate());
+
+  EEP_ASSIGN_OR_RETURN(
+      table::GroupedCounts grouped,
+      table::GroupCountByEstablishment(data.worker_full(), spec.AllColumns(),
+                                       kColEstabId));
+
+  MarginalQuery query(&data, spec, std::move(grouped));
+
+  // Worker-attribute domain size d (inner radices of the packed key).
+  const auto& radices = query.grouped_.codec.radices();
+  const size_t n_workplace = spec.workplace_attrs.size();
+  int64_t worker_domain = 1;
+  for (size_t i = n_workplace; i < radices.size(); ++i) {
+    worker_domain *= radices[i];
+  }
+  query.worker_domain_size_ = worker_domain;
+
+  // Index of `place` within the workplace attrs (for stratification).
+  int place_slot = -1;
+  for (size_t i = 0; i < spec.workplace_attrs.size(); ++i) {
+    if (spec.workplace_attrs[i] == kColPlace) {
+      place_slot = static_cast<int>(i);
+    }
+  }
+
+  // Which workplace-attribute combinations exist (public knowledge): group
+  // the Workplace table itself, so combos with an employer but zero matching
+  // workers are still released.
+  std::vector<uint64_t> present_wkeys;
+  if (n_workplace == 0) {
+    present_wkeys.push_back(0);
+  } else {
+    EEP_ASSIGN_OR_RETURN(
+        table::GroupKeyCodec wcodec,
+        table::GroupKeyCodec::Create(data.workplaces().schema(),
+                                     spec.workplace_attrs));
+    EEP_ASSIGN_OR_RETURN(auto wcounts,
+                         table::GroupCount(data.workplaces(), wcodec));
+    present_wkeys.reserve(wcounts.size());
+    for (const auto& [key, n] : wcounts) present_wkeys.push_back(key);
+    std::sort(present_wkeys.begin(), present_wkeys.end());
+  }
+
+  query.cells_.reserve(present_wkeys.size() *
+                       static_cast<size_t>(worker_domain));
+  for (uint64_t wkey : present_wkeys) {
+    for (int64_t ikey = 0; ikey < worker_domain; ++ikey) {
+      MarginalCell cell;
+      cell.key = wkey * static_cast<uint64_t>(worker_domain) +
+                 static_cast<uint64_t>(ikey);
+      if (const table::GroupedCell* g = query.grouped_.Find(cell.key)) {
+        cell.count = g->count;
+        cell.x_v = g->MaxEstabContribution();
+        cell.num_estabs = g->NumEstablishments();
+      }
+      if (place_slot >= 0) {
+        cell.place_code = query.grouped_.codec.Unpack(cell.key)[place_slot];
+      }
+      query.cells_.push_back(cell);
+    }
+  }
+  return query;
+}
+
+std::vector<double> MarginalQuery::TrueCounts() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(static_cast<double>(c.count));
+  return out;
+}
+
+Result<const MarginalCell*> MarginalQuery::FindCell(
+    const std::map<std::string, std::string>& values) const {
+  const auto columns = spec_.AllColumns();
+  if (values.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "FindCell needs exactly one value per query attribute");
+  }
+  std::vector<uint32_t> codes;
+  codes.reserve(columns.size());
+  for (const auto& column : columns) {
+    auto it = values.find(column);
+    if (it == values.end()) {
+      return Status::InvalidArgument("missing value for attribute " +
+                                     column);
+    }
+    EEP_ASSIGN_OR_RETURN(auto dict, data_->domains().DictFor(column));
+    EEP_ASSIGN_OR_RETURN(uint32_t code, dict->CodeOf(it->second));
+    codes.push_back(code);
+  }
+  const uint64_t key = grouped_.codec.Pack(codes);
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), key,
+      [](const MarginalCell& cell, uint64_t k) { return cell.key < k; });
+  if (it == cells_.end() || it->key != key) {
+    return Status::NotFound(
+        "cell not in the released domain (no establishment matches the "
+        "workplace attributes)");
+  }
+  return &*it;
+}
+
+int64_t MarginalQuery::PlacePopulation(const MarginalCell& cell) const {
+  if (cell.place_code == kNoPlace) return 0;
+  auto pop = data_->PlacePopulation(cell.place_code);
+  return pop.ok() ? pop.value() : 0;
+}
+
+}  // namespace eep::lodes

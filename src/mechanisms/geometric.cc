@@ -1,0 +1,42 @@
+#include "mechanisms/geometric.h"
+
+#include <cmath>
+
+#include "privacy/sensitivity.h"
+
+namespace eep::mechanisms {
+
+Result<GeometricMechanism> GeometricMechanism::Create(
+    privacy::PrivacyParams params) {
+  EEP_RETURN_NOT_OK(privacy::CheckSmoothLaplaceFeasible(params));
+  const double b = params.epsilon / (2.0 * std::log(1.0 / params.delta));
+  return GeometricMechanism(params, b);
+}
+
+Result<double> GeometricMechanism::GeometricParameter(
+    const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(
+      double smooth, privacy::SmoothSensitivity(cell.x_v, params_.alpha, b_));
+  const double scale = smooth / (params_.epsilon / 2.0);
+  // Match the continuous Laplace(scale) tail: Pr[|k|] ~ p^{|k|} with
+  // p = e^{-1/scale}.
+  return std::exp(-1.0 / scale);
+}
+
+Result<double> GeometricMechanism::Release(const CellQuery& cell,
+                                           Rng& rng) const {
+  if (cell.true_count < 0) {
+    return Status::InvalidArgument("count must be >= 0");
+  }
+  EEP_ASSIGN_OR_RETURN(double p, GeometricParameter(cell));
+  return static_cast<double>(cell.true_count + rng.TwoSidedGeometric(p));
+}
+
+Result<double> GeometricMechanism::ExpectedL1Error(
+    const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(double p, GeometricParameter(cell));
+  // E|X| for the difference of two Geometric(1-p) draws: 2p/(1-p^2).
+  return 2.0 * p / (1.0 - p * p);
+}
+
+}  // namespace eep::mechanisms

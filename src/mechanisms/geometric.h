@@ -1,0 +1,40 @@
+// Integer-valued smooth-sensitivity release (extension, not in the paper):
+// the two-sided geometric ("discrete Laplace") analogue of Algorithm 3.
+// Useful when a release must be integral; included as the future-work
+// style extension and exercised by the ablation bench.
+#ifndef EEP_MECHANISMS_GEOMETRIC_H_
+#define EEP_MECHANISMS_GEOMETRIC_H_
+
+#include "mechanisms/mechanism.h"
+#include "privacy/parameters.h"
+
+namespace eep::mechanisms {
+
+/// \brief n + round(S*(x_v)) · TwoSidedGeometric noise, scaled like Smooth
+/// Laplace. Approximate (alpha, epsilon, delta)-ER-EE privacy; the integer
+/// grid makes the guarantee conservative (noise is stochastically at least
+/// as spread as the continuous mechanism it mirrors).
+class GeometricMechanism : public CountMechanism {
+ public:
+  /// Same feasibility region as Smooth Laplace.
+  static Result<GeometricMechanism> Create(privacy::PrivacyParams params);
+
+  std::string name() const override { return "Smooth Geometric"; }
+
+  Result<double> Release(const CellQuery& cell, Rng& rng) const override;
+  Result<double> ExpectedL1Error(const CellQuery& cell) const override;
+
+  /// The geometric parameter p = exp(-1/scale) used for a given cell scale.
+  Result<double> GeometricParameter(const CellQuery& cell) const;
+
+ private:
+  GeometricMechanism(privacy::PrivacyParams params, double b)
+      : params_(params), b_(b) {}
+
+  privacy::PrivacyParams params_;
+  double b_;
+};
+
+}  // namespace eep::mechanisms
+
+#endif  // EEP_MECHANISMS_GEOMETRIC_H_

@@ -1,0 +1,22 @@
+#include "mechanisms/laplace.h"
+
+namespace eep::mechanisms {
+
+Result<EdgeLaplaceMechanism> EdgeLaplaceMechanism::Create(double epsilon) {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  return EdgeLaplaceMechanism(epsilon);
+}
+
+Result<double> EdgeLaplaceMechanism::Release(const CellQuery& cell,
+                                             Rng& rng) const {
+  return static_cast<double>(cell.true_count) + rng.Laplace(scale());
+}
+
+Result<double> EdgeLaplaceMechanism::ExpectedL1Error(
+    const CellQuery& /*cell*/) const {
+  return scale();
+}
+
+}  // namespace eep::mechanisms

@@ -1,0 +1,54 @@
+#include "mechanisms/log_laplace.h"
+
+#include <cmath>
+
+namespace eep::mechanisms {
+
+Result<LogLaplaceMechanism> LogLaplaceMechanism::Create(
+    privacy::PrivacyParams params, bool debias) {
+  EEP_ASSIGN_OR_RETURN(double lambda, privacy::LogLaplaceLambda(params));
+  if (debias && lambda >= 1.0) {
+    return Status::InvalidArgument(
+        "bias correction needs lambda < 1 (expectation unbounded otherwise)");
+  }
+  return LogLaplaceMechanism(params, lambda, debias);
+}
+
+Result<double> LogLaplaceMechanism::Release(const CellQuery& cell,
+                                            Rng& rng) const {
+  if (cell.true_count < 0) {
+    return Status::InvalidArgument("count must be >= 0");
+  }
+  const double n = static_cast<double>(cell.true_count);
+  const double log_count = std::log(n + gamma_);
+  const double eta = rng.Laplace(lambda_);
+  double released = std::exp(log_count + eta) - gamma_;
+  if (debias_) {
+    // Lemma 8.2: E[n~ + gamma] = (n + gamma)/(1 - lambda^2); rescaling by
+    // (1 - lambda^2) restores unbiasedness of the shifted value.
+    released = (released + gamma_) * (1.0 - lambda_ * lambda_) - gamma_;
+  }
+  return released;
+}
+
+Result<double> LogLaplaceMechanism::SquaredRelativeErrorBound() const {
+  if (!(lambda_ < 0.5)) {
+    return Status::FailedPrecondition(
+        "Theorem 8.3 bound requires lambda < 1/2");
+  }
+  const double l2 = lambda_ * lambda_;
+  return (2.0 * l2 + 4.0 * l2 * l2) * (1.0 + gamma_) * (1.0 + gamma_) /
+         ((1.0 - 4.0 * l2) * (1.0 - l2));
+}
+
+Result<double> LogLaplaceMechanism::ExpectedL1Error(
+    const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(double erel, SquaredRelativeErrorBound());
+  const double n = static_cast<double>(cell.true_count);
+  // Jensen: E|x - x~| <= x * sqrt(E[(x - x~)^2 / x^2]). For x = 0 fall back
+  // to the shifted scale gamma.
+  const double base = n > 0.0 ? n : gamma_;
+  return base * std::sqrt(erel);
+}
+
+}  // namespace eep::mechanisms

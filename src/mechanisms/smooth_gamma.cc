@@ -1,0 +1,42 @@
+#include "mechanisms/smooth_gamma.h"
+
+#include <cmath>
+
+#include "privacy/sensitivity.h"
+
+namespace eep::mechanisms {
+
+Result<SmoothGammaMechanism> SmoothGammaMechanism::Create(
+    privacy::PrivacyParams params) {
+  EEP_RETURN_NOT_OK(privacy::CheckSmoothGammaFeasible(params));
+  // eps2 = 5 ln(1+alpha) is the smallest dilation budget for which the
+  // smooth sensitivity is bounded (e^{eps2/5} >= 1+alpha, Lemma 8.5); only
+  // eps1 enters the noise scale, so minimizing eps2 minimizes error.
+  const double eps2 = 5.0 * std::log1p(params.alpha);
+  const double eps1 = params.epsilon - eps2;
+  return SmoothGammaMechanism(params, eps1, eps2);
+}
+
+Result<double> SmoothGammaMechanism::NoiseScale(const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(
+      double smooth,
+      privacy::SmoothSensitivity(cell.x_v, params_.alpha, eps2_ / 5.0));
+  return smooth / (eps1_ / 5.0);
+}
+
+Result<double> SmoothGammaMechanism::Release(const CellQuery& cell,
+                                             Rng& rng) const {
+  if (cell.true_count < 0) {
+    return Status::InvalidArgument("count must be >= 0");
+  }
+  EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
+  return static_cast<double>(cell.true_count) + scale * noise_.Sample(rng);
+}
+
+Result<double> SmoothGammaMechanism::ExpectedL1Error(
+    const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
+  return scale * noise_.MeanAbs();
+}
+
+}  // namespace eep::mechanisms

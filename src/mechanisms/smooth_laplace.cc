@@ -1,0 +1,39 @@
+#include "mechanisms/smooth_laplace.h"
+
+#include <cmath>
+
+#include "privacy/sensitivity.h"
+
+namespace eep::mechanisms {
+
+Result<SmoothLaplaceMechanism> SmoothLaplaceMechanism::Create(
+    privacy::PrivacyParams params) {
+  EEP_RETURN_NOT_OK(privacy::CheckSmoothLaplaceFeasible(params));
+  const double b = params.epsilon / (2.0 * std::log(1.0 / params.delta));
+  return SmoothLaplaceMechanism(params, b);
+}
+
+Result<double> SmoothLaplaceMechanism::NoiseScale(
+    const CellQuery& cell) const {
+  EEP_ASSIGN_OR_RETURN(double smooth,
+                       privacy::SmoothSensitivity(cell.x_v, params_.alpha,
+                                                  b_));
+  return smooth / (params_.epsilon / 2.0);
+}
+
+Result<double> SmoothLaplaceMechanism::Release(const CellQuery& cell,
+                                               Rng& rng) const {
+  if (cell.true_count < 0) {
+    return Status::InvalidArgument("count must be >= 0");
+  }
+  EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
+  return static_cast<double>(cell.true_count) + scale * rng.Laplace(1.0);
+}
+
+Result<double> SmoothLaplaceMechanism::ExpectedL1Error(
+    const CellQuery& cell) const {
+  // E|Laplace(1)| = 1.
+  return NoiseScale(cell);
+}
+
+}  // namespace eep::mechanisms

@@ -1,0 +1,67 @@
+#include "privacy/accountant.h"
+
+#include <cmath>
+
+namespace eep::privacy {
+
+Result<PrivacyAccountant> PrivacyAccountant::Create(double alpha,
+                                                    double epsilon_budget,
+                                                    double delta_budget,
+                                                    AdversaryModel model) {
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("alpha must be finite and >= 0");
+  }
+  if (!(epsilon_budget > 0.0)) {
+    return Status::InvalidArgument("epsilon budget must be > 0");
+  }
+  if (!(delta_budget >= 0.0 && delta_budget < 1.0)) {
+    return Status::InvalidArgument("delta budget must be in [0, 1)");
+  }
+  return PrivacyAccountant(alpha, epsilon_budget, delta_budget, model);
+}
+
+Status PrivacyAccountant::Charge(const std::string& description,
+                                 double epsilon, double delta) {
+  if (!(epsilon > 0.0) || !(delta >= 0.0)) {
+    return Status::InvalidArgument("charge must have epsilon > 0, delta >= 0");
+  }
+  constexpr double kSlack = 1e-12;  // tolerate float accumulation
+  if (spent_epsilon_ + epsilon > epsilon_budget_ + kSlack) {
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: spent " + std::to_string(spent_epsilon_) +
+        " + " + std::to_string(epsilon) + " > " +
+        std::to_string(epsilon_budget_));
+  }
+  if (spent_delta_ + delta > delta_budget_ + kSlack) {
+    return Status::ResourceExhausted("delta budget exhausted");
+  }
+  spent_epsilon_ += epsilon;
+  spent_delta_ += delta;
+  ledger_.push_back({description, epsilon, delta});
+  return Status::OK();
+}
+
+Status PrivacyAccountant::ChargeSequential(const std::string& description,
+                                           double epsilon, double delta) {
+  return Charge(description, epsilon, delta);
+}
+
+Status PrivacyAccountant::ChargeMarginal(const std::string& description,
+                                         double epsilon,
+                                         int64_t worker_domain_size,
+                                         double delta) {
+  if (worker_domain_size < 1) {
+    return Status::InvalidArgument("worker_domain_size must be >= 1");
+  }
+  double total_epsilon = epsilon;
+  double total_delta = delta;
+  if (model_ == AdversaryModel::kWeak && worker_domain_size > 1) {
+    // Thm. 7.5 fails for weak privacy: cells that partition workers of the
+    // SAME establishment compose sequentially, costing d * epsilon.
+    total_epsilon = epsilon * static_cast<double>(worker_domain_size);
+    total_delta = delta * static_cast<double>(worker_domain_size);
+  }
+  return Charge(description, total_epsilon, total_delta);
+}
+
+}  // namespace eep::privacy

@@ -1,0 +1,77 @@
+#include "privacy/admissible.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eep::privacy {
+
+Result<AdmissibleBudget> GeneralizedCauchyAdmissible(double eps1, double eps2,
+                                                     double gamma) {
+  if (!(eps1 > 0.0) || !(eps2 > 0.0)) {
+    return Status::InvalidArgument("budget split must be positive");
+  }
+  if (!(gamma > 0.0)) return Status::InvalidArgument("gamma must be > 0");
+  AdmissibleBudget budget;
+  budget.a = eps1 / (1.0 + gamma);
+  budget.b = eps2 / (1.0 + gamma);
+  budget.delta = 0.0;
+  return budget;
+}
+
+Result<AdmissibleBudget> LaplaceAdmissible(double eps, double delta) {
+  if (!(eps > 0.0)) return Status::InvalidArgument("eps must be > 0");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  AdmissibleBudget budget;
+  budget.a = eps / 2.0;
+  budget.b = eps / (2.0 * std::log(1.0 / delta));
+  budget.delta = delta;
+  return budget;
+}
+
+AdmissibilityCheck CheckAdmissibilityOnGrid(
+    const std::function<double(double)>& pdf, double a, double b,
+    double eps1, double eps2, double grid_halfwidth, int grid_points) {
+  AdmissibilityCheck check;
+  check.sliding_ok = true;
+  check.dilation_ok = true;
+  const double step = 2.0 * grid_halfwidth / (grid_points - 1);
+
+  for (int i = 0; i < grid_points; ++i) {
+    const double z = -grid_halfwidth + step * i;
+    const double h = pdf(z);
+    if (h <= 0.0) continue;
+
+    // Sliding: h(z) <= e^{eps1} h(z + delta) for |delta| <= a. The worst
+    // shift on a unimodal symmetric density is the full +/-a; check both.
+    for (double shift : {a, -a}) {
+      const double h_shifted = pdf(z + shift);
+      if (h_shifted <= 0.0) {
+        check.sliding_ok = false;
+        continue;
+      }
+      const double log_ratio = std::log(h / h_shifted);
+      check.worst_sliding_log_ratio =
+          std::max(check.worst_sliding_log_ratio, log_ratio);
+      if (log_ratio > eps1 + 1e-9) check.sliding_ok = false;
+    }
+
+    // Dilation: h(z) <= e^{eps2} e^{lambda} h(e^{lambda} z) for
+    // |lambda| <= b; extremes again at +/-b.
+    for (double lambda : {b, -b}) {
+      const double h_dilated = std::exp(lambda) * pdf(std::exp(lambda) * z);
+      if (h_dilated <= 0.0) {
+        check.dilation_ok = false;
+        continue;
+      }
+      const double log_ratio = std::log(h / h_dilated);
+      check.worst_dilation_log_ratio =
+          std::max(check.worst_dilation_log_ratio, log_ratio);
+      if (log_ratio > eps2 + 1e-9) check.dilation_ok = false;
+    }
+  }
+  return check;
+}
+
+}  // namespace eep::privacy

@@ -1,0 +1,58 @@
+// Admissible noise distributions (Definition 8.3, Lemmas 8.6 and 9.1):
+// the sliding/dilation budget splits that make smooth-sensitivity noise
+// private, plus numeric checkers the property tests use to validate the
+// analytic claims.
+#ifndef EEP_PRIVACY_ADMISSIBLE_H_
+#define EEP_PRIVACY_ADMISSIBLE_H_
+
+#include <functional>
+
+#include "common/status.h"
+
+namespace eep::privacy {
+
+/// \brief An (a, b)-admissibility certificate: noise Z scaled as
+/// M(x) = q(x) + S(x)/a · Z is private when S is a b-smooth upper bound on
+/// local sensitivity (Theorem 8.4).
+struct AdmissibleBudget {
+  /// Sliding parameter: shifts up to `a` cost at most epsilon_1.
+  double a = 0.0;
+  /// Dilation parameter: log-scalings up to `b` cost at most epsilon_2.
+  double b = 0.0;
+  /// Failure probability carried by the distribution (0 for pure privacy).
+  double delta = 0.0;
+};
+
+/// Lemma 8.6: h(z) ∝ 1/(1+|z|^gamma) is
+/// (eps1/(1+gamma), eps2/(1+gamma))-admissible with delta = 0, for any
+/// split eps1 + eps2 <= eps. Fails unless gamma > 0 and both budgets > 0.
+Result<AdmissibleBudget> GeneralizedCauchyAdmissible(double eps1, double eps2,
+                                                     double gamma);
+
+/// Lemma 9.1: the Laplace distribution is
+/// (eps/2, eps/(2·ln(1/delta)))-admissible. Fails unless delta in (0, 1).
+Result<AdmissibleBudget> LaplaceAdmissible(double eps, double delta);
+
+/// \brief Numeric admissibility checker over a density.
+///
+/// Verifies the sliding property — Pr[Z in S] <= e^eps1 Pr[Z in S+shift] +
+/// delta/2 — via the pointwise density-ratio sufficient condition
+/// h(z) <= e^eps1 · h(z + shift) on a grid, and the dilation property via
+/// e^lambda·h(e^lambda z) >= e^-eps2 · h(z). Grid-based, so a pass is
+/// strong evidence rather than proof; property tests pair it with the
+/// analytic lemmas.
+struct AdmissibilityCheck {
+  bool sliding_ok = false;
+  bool dilation_ok = false;
+  double worst_sliding_log_ratio = 0.0;
+  double worst_dilation_log_ratio = 0.0;
+};
+
+AdmissibilityCheck CheckAdmissibilityOnGrid(
+    const std::function<double(double)>& pdf, double a, double b,
+    double eps1, double eps2, double grid_halfwidth = 60.0,
+    int grid_points = 6001);
+
+}  // namespace eep::privacy
+
+#endif  // EEP_PRIVACY_ADMISSIBLE_H_

@@ -1,0 +1,146 @@
+#include "privacy/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace eep::privacy {
+
+int64_t MicroDatabase::EstabSize(size_t i) const {
+  return static_cast<int64_t>(establishments[i].size());
+}
+
+int64_t MicroDatabase::EstabPropertyCount(size_t i,
+                                          uint32_t property_mask) const {
+  int64_t n = 0;
+  for (uint32_t v : establishments[i]) {
+    if (property_mask & (1u << v)) ++n;
+  }
+  return n;
+}
+
+int64_t MicroDatabase::TotalSize() const {
+  int64_t n = 0;
+  for (const auto& e : establishments) n += static_cast<int64_t>(e.size());
+  return n;
+}
+
+int64_t MicroDatabase::PropertyCount(uint32_t property_mask) const {
+  int64_t n = 0;
+  for (size_t i = 0; i < establishments.size(); ++i) {
+    n += EstabPropertyCount(i, property_mask);
+  }
+  return n;
+}
+
+uint32_t MicroDatabase::DomainUpperBound() const {
+  uint32_t ub = 0;
+  for (const auto& e : establishments) {
+    for (uint32_t v : e) ub = std::max(ub, v + 1);
+  }
+  return ub;
+}
+
+int64_t NeighborUpperBound(int64_t x, double alpha) {
+  // Tiny slack absorbs binary representation error in (1+alpha)*x for the
+  // exact-integer cases the definitions intend (e.g. alpha=0.1, x=10 -> 11).
+  const auto mult = static_cast<int64_t>(
+      std::floor((1.0 + alpha) * static_cast<double>(x) + 1e-9));
+  return std::max(mult, x + 1);
+}
+
+namespace {
+
+// Value -> multiplicity map of one establishment's workers.
+std::map<uint32_t, int64_t> Multiset(const std::vector<uint32_t>& workers) {
+  std::map<uint32_t, int64_t> ms;
+  for (uint32_t v : workers) ++ms[v];
+  return ms;
+}
+
+// True iff `small` is a sub-multiset of `big`.
+bool IsSubMultiset(const std::map<uint32_t, int64_t>& small,
+                   const std::map<uint32_t, int64_t>& big) {
+  for (const auto& [v, n] : small) {
+    auto it = big.find(v);
+    if (it == big.end() || it->second < n) return false;
+  }
+  return true;
+}
+
+// Finds the single establishment index where d1 and d2 differ; -1 when they
+// are identical, -2 when they differ at more than one index or have
+// different establishment counts.
+int SingleDifferingEstab(const MicroDatabase& d1, const MicroDatabase& d2) {
+  if (d1.establishments.size() != d2.establishments.size()) return -2;
+  int differing = -1;
+  for (size_t i = 0; i < d1.establishments.size(); ++i) {
+    auto a = d1.establishments[i];
+    auto b = d2.establishments[i];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) {
+      if (differing >= 0) return -2;
+      differing = static_cast<int>(i);
+    }
+  }
+  return differing;
+}
+
+}  // namespace
+
+bool AreStrongNeighbors(const MicroDatabase& d1, const MicroDatabase& d2,
+                        double alpha) {
+  const int idx = SingleDifferingEstab(d1, d2);
+  if (idx < 0) return false;  // identical or multiple differences
+  const auto ms1 = Multiset(d1.establishments[idx]);
+  const auto ms2 = Multiset(d2.establishments[idx]);
+  const int64_t n1 = d1.EstabSize(idx);
+  const int64_t n2 = d2.EstabSize(idx);
+  // Orient so E is the smaller set; Def. 7.1 requires E ⊆ E'.
+  const auto& small = n1 <= n2 ? ms1 : ms2;
+  const auto& big = n1 <= n2 ? ms2 : ms1;
+  const int64_t ns = std::min(n1, n2);
+  const int64_t nb = std::max(n1, n2);
+  if (!IsSubMultiset(small, big)) return false;
+  return nb <= NeighborUpperBound(ns, alpha);
+}
+
+bool AreWeakNeighbors(const MicroDatabase& d1, const MicroDatabase& d2,
+                      double alpha) {
+  const int idx = SingleDifferingEstab(d1, d2);
+  if (idx < 0) return false;
+  const uint32_t domain =
+      std::max(d1.DomainUpperBound(), d2.DomainUpperBound());
+  if (domain > 16) return false;  // enumeration guard; tests stay tiny
+  // Orient: the direction must be consistent across ALL properties phi.
+  auto check_direction = [&](const MicroDatabase& small,
+                             const MicroDatabase& big) {
+    const uint32_t num_masks = 1u << domain;
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      const int64_t ps = small.EstabPropertyCount(idx, mask);
+      const int64_t pb = big.EstabPropertyCount(idx, mask);
+      if (pb < ps || pb > NeighborUpperBound(ps, alpha)) return false;
+    }
+    return true;
+  };
+  return check_direction(d1, d2) || check_direction(d2, d1);
+}
+
+Result<int> SizeNeighborDistance(int64_t x, int64_t y, double alpha) {
+  if (x < 0 || y < 0) return Status::InvalidArgument("sizes must be >= 0");
+  if (alpha < 0.0) return Status::InvalidArgument("alpha must be >= 0");
+  int64_t lo = std::min(x, y);
+  const int64_t hi = std::max(x, y);
+  int steps = 0;
+  while (lo < hi) {
+    lo = std::min(NeighborUpperBound(lo, alpha), hi);
+    ++steps;
+    if (steps > 1 << 20) {
+      return Status::Internal("size distance did not converge");
+    }
+  }
+  return steps;
+}
+
+}  // namespace eep::privacy

@@ -1,0 +1,63 @@
+// Strong and weak alpha-neighbor relations (Definitions 7.1 and 7.3) over
+// explicit "micro databases" — small enough to enumerate, used by the
+// property tests and the Pufferfish verification harness to check the
+// privacy definitions end-to-end.
+#ifndef EEP_PRIVACY_NEIGHBORS_H_
+#define EEP_PRIVACY_NEIGHBORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eep::privacy {
+
+/// \brief A miniature ER-EE database: each establishment is a multiset of
+/// worker attribute values (one uint32 per worker, drawn from a small
+/// domain). Establishment identity is positional — establishment i in one
+/// database corresponds to establishment i in another (their public
+/// attributes are fixed and equal).
+struct MicroDatabase {
+  std::vector<std::vector<uint32_t>> establishments;
+
+  /// Total workers at establishment i.
+  int64_t EstabSize(size_t i) const;
+  /// Workers at establishment i whose value lies in `property_mask` (bit v
+  /// set means attribute value v satisfies phi).
+  int64_t EstabPropertyCount(size_t i, uint32_t property_mask) const;
+  /// Total workers.
+  int64_t TotalSize() const;
+  /// Workers in the whole database whose value lies in `property_mask`.
+  int64_t PropertyCount(uint32_t property_mask) const;
+  /// Largest attribute value present plus one (a floor on the domain size).
+  uint32_t DomainUpperBound() const;
+};
+
+/// Upper end of the alpha-indistinguishability band for an integer size x:
+/// max(floor((1+alpha)·x), x+1), per Definitions 7.1 / 7.3.
+int64_t NeighborUpperBound(int64_t x, double alpha);
+
+/// True iff d1 and d2 are strong alpha-neighbors (Def. 7.1): identical
+/// except at one establishment e where one worker multiset contains the
+/// other and the bigger has size at most NeighborUpperBound(smaller).
+bool AreStrongNeighbors(const MicroDatabase& d1, const MicroDatabase& d2,
+                        double alpha);
+
+/// True iff d1 and d2 are weak alpha-neighbors (Def. 7.3): identical except
+/// at one establishment e where, for EVERY property phi over the attribute
+/// domain, phi(smaller) <= phi(bigger) <= NeighborUpperBound(phi(smaller)).
+/// Checked by enumerating all 2^domain property masks, so keep test domains
+/// tiny.
+bool AreWeakNeighbors(const MicroDatabase& d1, const MicroDatabase& d2,
+                      double alpha);
+
+/// The metric of Section 7.2 restricted to establishment size: the number
+/// of strong-neighbor steps needed to grow an establishment from x to y
+/// workers (each step multiplies by at most (1+alpha), or adds one worker
+/// when that is larger). Symmetric in its arguments. Fails for negative
+/// sizes.
+Result<int> SizeNeighborDistance(int64_t x, int64_t y, double alpha);
+
+}  // namespace eep::privacy
+
+#endif  // EEP_PRIVACY_NEIGHBORS_H_

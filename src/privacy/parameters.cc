@@ -1,0 +1,69 @@
+#include "privacy/parameters.h"
+
+#include <cmath>
+#include <string>
+
+namespace eep::privacy {
+
+const char* AdversaryModelName(AdversaryModel model) {
+  switch (model) {
+    case AdversaryModel::kInformed: return "informed";
+    case AdversaryModel::kWeak: return "weak";
+  }
+  return "unknown";
+}
+
+Status PrivacyParams::Validate() const {
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("alpha must be finite and >= 0");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and > 0");
+  }
+  if (!(delta >= 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+Status CheckSmoothGammaFeasible(const PrivacyParams& params) {
+  EEP_RETURN_NOT_OK(params.Validate());
+  if (!(1.0 + params.alpha < std::exp(params.epsilon / 5.0))) {
+    return Status::InvalidArgument(
+        "Smooth Gamma requires 1+alpha < e^(eps/5); got alpha=" +
+        std::to_string(params.alpha) +
+        " eps=" + std::to_string(params.epsilon));
+  }
+  return Status::OK();
+}
+
+Status CheckSmoothLaplaceFeasible(const PrivacyParams& params) {
+  EEP_RETURN_NOT_OK(params.Validate());
+  if (!(params.delta > 0.0)) {
+    return Status::InvalidArgument("Smooth Laplace requires delta > 0");
+  }
+  const double b = params.epsilon / (2.0 * std::log(1.0 / params.delta));
+  if (!(1.0 + params.alpha <= std::exp(b))) {
+    return Status::InvalidArgument(
+        "Smooth Laplace requires 1+alpha <= e^(eps/(2 ln(1/delta)))");
+  }
+  return Status::OK();
+}
+
+Result<double> MinEpsilonForSmoothLaplace(double alpha, double delta) {
+  if (!(alpha > 0.0)) return Status::InvalidArgument("alpha must be > 0");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  return 2.0 * std::log(1.0 / delta) * std::log1p(alpha);
+}
+
+Result<double> LogLaplaceLambda(const PrivacyParams& params) {
+  EEP_RETURN_NOT_OK(params.Validate());
+  if (!(params.alpha > 0.0)) {
+    return Status::InvalidArgument("Log-Laplace requires alpha > 0");
+  }
+  return 2.0 * std::log1p(params.alpha) / params.epsilon;
+}
+
+}  // namespace eep::privacy

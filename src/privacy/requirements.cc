@@ -1,0 +1,77 @@
+#include "privacy/requirements.h"
+
+namespace eep::privacy {
+
+const char* RequirementName(Requirement req) {
+  switch (req) {
+    case Requirement::kIndividuals: return "Individuals";
+    case Requirement::kEmployerSize: return "Emp. Size";
+    case Requirement::kEmployerShape: return "Emp. Shape";
+  }
+  return "unknown";
+}
+
+const char* ProtectionMethodName(ProtectionMethod method) {
+  switch (method) {
+    case ProtectionMethod::kInputNoiseInfusion:
+      return "Input Noise Infusion (Sec. 5)";
+    case ProtectionMethod::kDifferentialPrivacyEdges:
+      return "Differential Privacy (individuals, Sec. 6)";
+    case ProtectionMethod::kDifferentialPrivacyNodes:
+      return "Differential Privacy (establishments, Sec. 6)";
+    case ProtectionMethod::kErEePrivacy:
+      return "ER-EE-privacy (Sec. 7)";
+    case ProtectionMethod::kWeakErEePrivacy:
+      return "Weak ER-EE privacy (Sec. 7)";
+  }
+  return "unknown";
+}
+
+const char* SatisfactionName(Satisfaction s) {
+  switch (s) {
+    case Satisfaction::kNo: return "No";
+    case Satisfaction::kYes: return "Yes";
+    case Satisfaction::kYesForWeakAdversaries: return "Yes*";
+  }
+  return "unknown";
+}
+
+Satisfaction Satisfies(ProtectionMethod method, Requirement req) {
+  switch (method) {
+    case ProtectionMethod::kInputNoiseInfusion:
+      // All three fail: the executable attacks in sdl/attacks.h are the
+      // constructive proofs.
+      return Satisfaction::kNo;
+    case ProtectionMethod::kDifferentialPrivacyEdges:
+      // Edge-DP protects individuals but lets establishment size/shape be
+      // learned to +-O(1/eps) (Claim B.1).
+      return req == Requirement::kIndividuals ? Satisfaction::kYes
+                                              : Satisfaction::kNo;
+    case ProtectionMethod::kDifferentialPrivacyNodes:
+      return Satisfaction::kYes;
+    case ProtectionMethod::kErEePrivacy:
+      // Theorem 7.1.
+      return Satisfaction::kYes;
+    case ProtectionMethod::kWeakErEePrivacy:
+      // Theorem 7.2: size requirement only against weak adversaries.
+      return req == Requirement::kEmployerSize
+                 ? Satisfaction::kYesForWeakAdversaries
+                 : Satisfaction::kYes;
+  }
+  return Satisfaction::kNo;
+}
+
+std::vector<ProtectionMethod> AllProtectionMethods() {
+  return {ProtectionMethod::kInputNoiseInfusion,
+          ProtectionMethod::kDifferentialPrivacyEdges,
+          ProtectionMethod::kDifferentialPrivacyNodes,
+          ProtectionMethod::kErEePrivacy,
+          ProtectionMethod::kWeakErEePrivacy};
+}
+
+std::vector<Requirement> AllRequirements() {
+  return {Requirement::kIndividuals, Requirement::kEmployerSize,
+          Requirement::kEmployerShape};
+}
+
+}  // namespace eep::privacy

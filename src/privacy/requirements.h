@@ -1,0 +1,52 @@
+// Table 1 of the paper as code: which protection methods satisfy which of
+// the three statutory privacy requirements (Section 4.2). The entries are
+// not mere documentation — the unit tests cross-check each "No" against the
+// executable attack or counterexample that proves it.
+#ifndef EEP_PRIVACY_REQUIREMENTS_H_
+#define EEP_PRIVACY_REQUIREMENTS_H_
+
+#include <string>
+#include <vector>
+
+namespace eep::privacy {
+
+/// The three requirements of Section 4.2.
+enum class Requirement {
+  kIndividuals,  ///< Def. 4.1: no re-identification of employees.
+  kEmployerSize,  ///< Def. 4.2: size inference bounded to factor alpha.
+  kEmployerShape, ///< Def. 4.3: shape inference bounded.
+};
+
+/// Protection methods compared in Table 1.
+enum class ProtectionMethod {
+  kInputNoiseInfusion,          ///< Current SDL (Sec. 5).
+  kDifferentialPrivacyEdges,    ///< DP on individuals/jobs (edge-DP, Sec. 6).
+  kDifferentialPrivacyNodes,    ///< DP on establishments (node-DP, Sec. 6).
+  kErEePrivacy,                 ///< (alpha, eps)-ER-EE privacy (Def. 7.2).
+  kWeakErEePrivacy,             ///< Weak (alpha, eps)-ER-EE privacy (Def. 7.4).
+};
+
+/// Satisfaction levels in Table 1.
+enum class Satisfaction {
+  kNo,
+  kYes,
+  kYesForWeakAdversaries,  ///< The starred entry: weak ER-EE privacy meets
+                           ///< the size requirement only against weak
+                           ///< adversaries.
+};
+
+const char* RequirementName(Requirement req);
+const char* ProtectionMethodName(ProtectionMethod method);
+const char* SatisfactionName(Satisfaction s);
+
+/// The Table 1 entry for (method, requirement).
+Satisfaction Satisfies(ProtectionMethod method, Requirement req);
+
+/// All methods in table order, for report generation.
+std::vector<ProtectionMethod> AllProtectionMethods();
+/// All requirements in table order.
+std::vector<Requirement> AllRequirements();
+
+}  // namespace eep::privacy
+
+#endif  // EEP_PRIVACY_REQUIREMENTS_H_

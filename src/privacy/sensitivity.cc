@@ -1,0 +1,42 @@
+#include "privacy/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eep::privacy {
+
+double LocalSensitivity(int64_t x_v, double alpha) {
+  return std::max(1.0, static_cast<double>(x_v) * alpha);
+}
+
+Result<double> SmoothSensitivity(int64_t x_v, double alpha, double b) {
+  if (x_v < 0) return Status::InvalidArgument("x_v must be >= 0");
+  if (!(alpha >= 0.0) || !(b > 0.0)) {
+    return Status::InvalidArgument("need alpha >= 0 and b > 0");
+  }
+  if (std::exp(b) < 1.0 + alpha) {
+    return Status::InvalidArgument(
+        "smooth sensitivity unbounded: e^b < 1 + alpha (Lemma 8.5)");
+  }
+  return LocalSensitivity(x_v, alpha);
+}
+
+double LocalSensitivityAtDistance(int64_t x_v, double alpha, int j) {
+  // Within j neighbor steps, the dominant establishment's contribution can
+  // grow by a factor (1+alpha)^j, so the worst-case local sensitivity is
+  // x_v·alpha·(1+alpha)^j (still floored at 1 for the one-worker move).
+  return std::max(1.0, static_cast<double>(x_v) * alpha *
+                           std::pow(1.0 + alpha, j));
+}
+
+double SmoothSensitivityBruteForce(int64_t x_v, double alpha, double b,
+                                   int max_j) {
+  double best = 0.0;
+  for (int j = 0; j <= max_j; ++j) {
+    best = std::max(best, std::exp(-b * j) *
+                              LocalSensitivityAtDistance(x_v, alpha, j));
+  }
+  return best;
+}
+
+}  // namespace eep::privacy

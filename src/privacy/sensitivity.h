@@ -1,0 +1,35 @@
+// Local and smooth sensitivity for ER-EE count queries (Definitions 8.1,
+// 8.2 and Lemma 8.5 of the paper).
+#ifndef EEP_PRIVACY_SENSITIVITY_H_
+#define EEP_PRIVACY_SENSITIVITY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace eep::privacy {
+
+/// Local sensitivity of a cell count under the alpha-neighbor relations:
+/// the larger of 1 (one worker added/removed) and x_v·alpha (the dominant
+/// establishment's contribution scaled by alpha), where x_v is the largest
+/// single-establishment contribution to the cell.
+double LocalSensitivity(int64_t x_v, double alpha);
+
+/// b-smooth sensitivity of a cell count (Lemma 8.5):
+///   S*_{v,b}(x) = max(x_v·alpha, 1)   when e^b >= 1 + alpha,
+///   unbounded (error)                 otherwise.
+Result<double> SmoothSensitivity(int64_t x_v, double alpha, double b);
+
+/// The intermediate quantity A^{(j)}(x) = max_{y: d(x,y)<=j} LS(y) used in
+/// Definition 8.2: for cell counts this is max(x_v·alpha·(1+alpha)^j, 1).
+/// Exposed so property tests can verify the smooth-sensitivity maximization
+/// numerically against the closed form.
+double LocalSensitivityAtDistance(int64_t x_v, double alpha, int j);
+
+/// Brute-force S*_{v,b} = max_{j=0..max_j} e^{-jb} A^{(j)}(x) for tests.
+double SmoothSensitivityBruteForce(int64_t x_v, double alpha, double b,
+                                   int max_j);
+
+}  // namespace eep::privacy
+
+#endif  // EEP_PRIVACY_SENSITIVITY_H_

@@ -1,0 +1,111 @@
+#include "privacy/verification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace eep::privacy {
+
+IndistinguishabilityResult CheckAdditivePair(
+    const std::function<double(double)>& noise_pdf, double q1, double scale1,
+    double q2, double scale2, double epsilon, double grid_halfwidth,
+    int grid_points) {
+  IndistinguishabilityResult result;
+  const double center = 0.5 * (q1 + q2);
+  const double span = grid_halfwidth * std::max(scale1, scale2) +
+                      std::abs(q1 - q2);
+  const double step = 2.0 * span / (grid_points - 1);
+  double worst = -1e300;
+  for (int i = 0; i < grid_points; ++i) {
+    const double o = center - span + step * i;
+    const double f1 = noise_pdf((o - q1) / scale1) / scale1;
+    const double f2 = noise_pdf((o - q2) / scale2) / scale2;
+    if (f1 <= 0.0 || f2 <= 0.0) continue;
+    worst = std::max(worst, std::log(f1 / f2));
+  }
+  result.max_log_ratio = worst;
+  result.passed = worst <= epsilon + 1e-6;
+  return result;
+}
+
+IndistinguishabilityResult CheckMonteCarloPair(
+    const std::function<double(Rng&)>& mech1,
+    const std::function<double(Rng&)>& mech2, double epsilon, double delta,
+    int samples, int bins, Rng& rng) {
+  std::vector<double> draws1(samples), draws2(samples);
+  for (int i = 0; i < samples; ++i) draws1[i] = mech1(rng);
+  for (int i = 0; i < samples; ++i) draws2[i] = mech2(rng);
+
+  double lo = 1e300, hi = -1e300;
+  for (double v : draws1) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : draws2) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) {
+    // Point mass on both sides: indistinguishable iff equal.
+    IndistinguishabilityResult r;
+    r.max_log_ratio = 0.0;
+    r.passed = true;
+    return r;
+  }
+
+  std::vector<double> hist1(bins, 0.0), hist2(bins, 0.0);
+  auto bin_of = [&](double v) {
+    int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+    return std::clamp(b, 0, bins - 1);
+  };
+  for (double v : draws1) hist1[bin_of(v)] += 1.0;
+  for (double v : draws2) hist2[bin_of(v)] += 1.0;
+
+  // Normal-approximation slack on each bin mass; three sigmas of the
+  // binomial standard error keeps the false-failure rate negligible.
+  const double n = static_cast<double>(samples);
+  IndistinguishabilityResult result;
+  result.passed = true;
+  double worst = -1e300;
+  for (int b = 0; b < bins; ++b) {
+    const double p1 = hist1[b] / n;
+    const double p2 = hist2[b] / n;
+    const double se = 3.0 * std::sqrt((p1 + p2 + 1e-12) / n);
+    const double allowed = std::exp(epsilon) * (p2 + se) + delta + se;
+    if (p1 > allowed) result.passed = false;
+    if (p1 > 0.0 && p2 > 0.0) {
+      worst = std::max(worst, std::log(p1 / p2));
+    }
+  }
+  result.max_log_ratio = worst;
+  return result;
+}
+
+Result<double> MaxLogBayesFactor(const std::vector<double>& priors,
+                                 const std::vector<double>& likelihoods) {
+  if (priors.size() != likelihoods.size() || priors.empty()) {
+    return Status::InvalidArgument("priors/likelihoods size mismatch");
+  }
+  // Posterior_i ∝ prior_i * likelihood_i, so the Bayes factor for the pair
+  // (a, b) reduces to likelihood_a / likelihood_b; priors validate inputs.
+  double max_ll = -1e300, min_ll = 1e300;
+  for (size_t i = 0; i < priors.size(); ++i) {
+    if (!(priors[i] > 0.0)) continue;  // pairs need positive priors
+    if (!(likelihoods[i] >= 0.0)) {
+      return Status::InvalidArgument("negative likelihood");
+    }
+    if (likelihoods[i] <= 0.0) {
+      // An output impossible under world i: the Bayes factor against world
+      // i is unbounded.
+      return std::numeric_limits<double>::infinity();
+    }
+    max_ll = std::max(max_ll, std::log(likelihoods[i]));
+    min_ll = std::min(min_ll, std::log(likelihoods[i]));
+  }
+  if (max_ll < min_ll) {
+    return Status::InvalidArgument("no worlds with positive prior");
+  }
+  return max_ll - min_ll;
+}
+
+}  // namespace eep::privacy

@@ -1,0 +1,61 @@
+// Empirical verification of privacy guarantees: deterministic density-ratio
+// checks for additive mechanisms, Monte-Carlo indistinguishability tests on
+// arbitrary mechanisms, and posterior/prior Bayes-factor computation on
+// micro universes (the Pufferfish semantics of Definitions 4.1/4.2).
+//
+// These tools back the property-based test suite: every mechanism in
+// src/mechanisms is checked against the inequality it claims to satisfy.
+#ifndef EEP_PRIVACY_VERIFICATION_H_
+#define EEP_PRIVACY_VERIFICATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace eep::privacy {
+
+/// \brief Outcome of an indistinguishability check between two output
+/// distributions.
+struct IndistinguishabilityResult {
+  /// Max over tested events of log(Pr1(S) / Pr2(S)) (after subtracting the
+  /// allowed delta mass for approximate checks).
+  double max_log_ratio = 0.0;
+  /// True iff max_log_ratio <= epsilon (+ tolerance).
+  bool passed = false;
+};
+
+/// Deterministic check for additive-noise mechanisms: M_i(o) has density
+/// pdf((o - q_i)/scale_i)/scale_i. Verifies
+/// sup_o log(f1(o)/f2(o)) <= epsilon on a grid around both centers.
+/// Suitable for Laplace / generalized-Cauchy noise where the pointwise
+/// density ratio bounds every event ratio.
+IndistinguishabilityResult CheckAdditivePair(
+    const std::function<double(double)>& noise_pdf, double q1, double scale1,
+    double q2, double scale2, double epsilon, double grid_halfwidth = 80.0,
+    int grid_points = 8001);
+
+/// Monte-Carlo check over histogram events for arbitrary real-output
+/// mechanisms: draws `samples` outputs from each of two mechanisms, bins
+/// them, and tests Pr1[bin] <= e^epsilon Pr2[bin] + delta with a slack
+/// proportional to sampling error. Coarse by nature; use for integration
+/// tests with generous sample counts.
+IndistinguishabilityResult CheckMonteCarloPair(
+    const std::function<double(Rng&)>& mech1,
+    const std::function<double(Rng&)>& mech2, double epsilon, double delta,
+    int samples, int bins, Rng& rng);
+
+/// \brief Pufferfish Bayes-factor computation on a finite secret space.
+///
+/// Given prior probabilities over a finite set of "worlds" and, for each
+/// world, the probability of the observed output, computes the largest
+/// log Bayes factor log[ (post_a/post_b) / (prior_a/prior_b) ] over all
+/// world pairs (a, b). Definitions 4.1/4.2 require this to be <= epsilon
+/// for the relevant pairs.
+Result<double> MaxLogBayesFactor(const std::vector<double>& priors,
+                                 const std::vector<double>& likelihoods);
+
+}  // namespace eep::privacy
+
+#endif  // EEP_PRIVACY_VERIFICATION_H_

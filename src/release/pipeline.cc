@@ -1,0 +1,75 @@
+#include "release/pipeline.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+
+namespace eep::release {
+
+Status ReleasedTable::WriteCsv(const std::string& path) const {
+  return WriteCsvFile(path, header, rows);
+}
+
+Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
+                                 const ReleaseConfig& config,
+                                 privacy::PrivacyAccountant* accountant,
+                                 Rng& rng) {
+  EEP_RETURN_NOT_OK(config.spec.Validate());
+  EEP_ASSIGN_OR_RETURN(lodes::MarginalQuery query,
+                       lodes::MarginalQuery::Compute(data, config.spec));
+
+  // Validate mechanism feasibility first (parameter checks draw no noise),
+  // then charge the budget BEFORE any noise is drawn: a refused release
+  // must neither leak anything nor waste budget.
+  EEP_ASSIGN_OR_RETURN(auto mechanism,
+                       eval::MakeMechanism(config.mechanism, config.alpha,
+                                           config.epsilon, config.delta));
+  if (accountant != nullptr) {
+    if (accountant->alpha() != config.alpha) {
+      return Status::InvalidArgument(
+          "release alpha does not match the accountant's alpha");
+    }
+    EEP_RETURN_NOT_OK(accountant->ChargeMarginal(
+        config.description, config.epsilon, query.WorkerDomainSize(),
+        config.delta));
+  }
+
+  ReleasedTable out;
+  out.header = config.spec.AllColumns();
+  out.header.push_back("count");
+  out.rows.reserve(query.cells().size());
+
+  static const std::vector<table::EstabContribution> kNoContribs;
+  const auto& codec = query.codec();
+  for (const auto& cell : query.cells()) {
+    mechanisms::CellQuery cq;
+    cq.true_count = cell.count;
+    cq.x_v = cell.x_v;
+    const table::GroupedCell* grouped = query.grouped().Find(cell.key);
+    cq.contributions = grouped ? &grouped->contributions : &kNoContribs;
+    EEP_ASSIGN_OR_RETURN(double released, mechanism->Release(cq, rng));
+
+    std::vector<std::string> row;
+    row.reserve(out.header.size());
+    const auto codes = codec.Unpack(cell.key);
+    for (size_t i = 0; i < codes.size(); ++i) {
+      const auto& field =
+          data.worker_full().schema().field(codec.column_indices()[i]);
+      EEP_ASSIGN_OR_RETURN(std::string value,
+                           field.dictionary->ValueOf(codes[i]));
+      row.push_back(std::move(value));
+    }
+    if (config.round_counts) {
+      row.push_back(std::to_string(RoundNonNegative(released)));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", released);
+      row.emplace_back(buf);
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace eep::release

@@ -1,0 +1,55 @@
+// End-to-end release pipeline: what a statistical agency would actually
+// run. Takes a dataset, a marginal spec and a privacy target; charges the
+// privacy accountant (refusing to release when the budget is exhausted);
+// applies the chosen mechanism to every cell; emits a labeled, optionally
+// integer-rounded protected table ready for CSV publication.
+#ifndef EEP_RELEASE_PIPELINE_H_
+#define EEP_RELEASE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "eval/workloads.h"
+#include "lodes/marginal.h"
+#include "privacy/accountant.h"
+
+namespace eep::release {
+
+/// \brief Configuration of one protected-table release.
+struct ReleaseConfig {
+  lodes::MarginalSpec spec;
+  eval::MechanismKind mechanism = eval::MechanismKind::kSmoothLaplace;
+  /// Per-cell privacy parameters. For marginals with worker attributes the
+  /// accountant is charged d x epsilon under the weak model (Section 8).
+  double alpha = 0.1;
+  double epsilon = 1.0;
+  double delta = 0.0;
+  /// Round released values to non-negative integers (published tables are
+  /// integral counts).
+  bool round_counts = true;
+  /// Label for the accountant ledger.
+  std::string description = "marginal release";
+};
+
+/// \brief A protected table ready for publication.
+struct ReleasedTable {
+  /// Attribute columns followed by "count".
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  Status WriteCsv(const std::string& path) const;
+};
+
+/// Runs one release. The accountant enforces the composition rules: the
+/// charge is epsilon for establishment-only marginals and d x epsilon for
+/// marginals containing worker attributes under the weak model.
+Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
+                                 const ReleaseConfig& config,
+                                 privacy::PrivacyAccountant* accountant,
+                                 Rng& rng);
+
+}  // namespace eep::release
+
+#endif  // EEP_RELEASE_PIPELINE_H_

@@ -1,0 +1,82 @@
+#include "sdl/attacks.h"
+
+#include <cmath>
+
+namespace eep::sdl {
+
+Result<ShapeAttackResult> InferEstablishmentShape(
+    const std::vector<double>& published, double small_cell_limit) {
+  if (published.empty()) {
+    return Status::InvalidArgument("no published cells");
+  }
+  double total = 0.0;
+  bool exact = true;
+  for (double v : published) {
+    if (v < 0.0) return Status::InvalidArgument("negative published count");
+    // A positive count at or below the small-cell limit was replaced by a
+    // posterior-predictive draw, so the common-factor cancellation breaks.
+    if (v > 0.0 && v <= small_cell_limit) exact = false;
+    total += v;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("all published cells are zero");
+  }
+  ShapeAttackResult result;
+  result.inferred_shape.reserve(published.size());
+  for (double v : published) result.inferred_shape.push_back(v / total);
+  result.exact = exact;
+  return result;
+}
+
+Result<SizeAttackResult> ReconstructEstablishmentSize(
+    const std::vector<double>& published, size_t known_cell_index,
+    int64_t known_true_count, double small_cell_limit) {
+  if (known_cell_index >= published.size()) {
+    return Status::OutOfRange("known cell index out of range");
+  }
+  if (known_true_count <= 0) {
+    return Status::InvalidArgument("known true count must be positive");
+  }
+  const double known_published = published[known_cell_index];
+  if (known_published <= small_cell_limit) {
+    return Status::FailedPrecondition(
+        "known cell is below the small-cell limit; factor not recoverable");
+  }
+  SizeAttackResult result;
+  result.inferred_factor =
+      known_published / static_cast<double>(known_true_count);
+  result.reconstructed_counts.reserve(published.size());
+  for (double v : published) {
+    if (v > small_cell_limit) {
+      // Invert the shared multiplicative factor and round to the integer
+      // count the establishment actually reported.
+      result.reconstructed_counts.push_back(
+          std::round(v / result.inferred_factor));
+    } else {
+      // Small or zero cells carry no factor information; keep as published.
+      result.reconstructed_counts.push_back(v);
+    }
+    result.reconstructed_total += result.reconstructed_counts.back();
+  }
+  return result;
+}
+
+Result<ReidentificationResult> ReidentifyWorker(
+    const std::vector<double>& published,
+    const std::vector<bool>& cell_has_property) {
+  if (published.size() != cell_has_property.size()) {
+    return Status::InvalidArgument("length mismatch");
+  }
+  ReidentificationResult result;
+  size_t matches = 0;
+  for (size_t i = 0; i < published.size(); ++i) {
+    if (cell_has_property[i] && published[i] > 0.0) {
+      ++matches;
+      result.matched_cell = i;
+    }
+  }
+  result.unique_match = (matches == 1);
+  return result;
+}
+
+}  // namespace eep::sdl

@@ -1,0 +1,83 @@
+// Executable versions of the three inference attacks on input noise
+// infusion described in Section 5.2 of the paper. Each attack assumes a
+// marginal in which one workplace-attribute combination matches exactly one
+// establishment, so every published worker-attribute cell for that
+// combination is f_w times the establishment's true cell count (when above
+// the small-cell limit).
+//
+// These functions exist to demonstrate — in tests and in the
+// sdl_attack_demo example — that the legacy SDL fails the paper's three
+// privacy requirements (Table 1), while the formally private mechanisms
+// resist the same attacks.
+#ifndef EEP_SDL_ATTACKS_H_
+#define EEP_SDL_ATTACKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eep::sdl {
+
+/// \brief Result of the establishment-shape attack.
+struct ShapeAttackResult {
+  /// Inferred workforce composition: published counts normalized to sum 1.
+  /// Equals the true shape exactly when every cell clears the small-cell
+  /// limit, because the common factor f_w cancels in the normalization.
+  std::vector<double> inferred_shape;
+  /// True iff every positive published count cleared the small-cell limit,
+  /// i.e. the inference is exact.
+  bool exact = false;
+};
+
+/// Attack 1 (violates Def. 4.3): infer the exact shape of a single
+/// establishment's workforce from its published worker-attribute cells.
+/// `published` holds the released counts for all worker-attribute cells of
+/// the single-establishment workplace combination.
+Result<ShapeAttackResult> InferEstablishmentShape(
+    const std::vector<double>& published, double small_cell_limit);
+
+/// \brief Result of the establishment-size attack.
+struct SizeAttackResult {
+  /// Reconstructed confidential distortion factor f_w.
+  double inferred_factor = 0.0;
+  /// Reconstructed true counts for every published cell.
+  std::vector<double> reconstructed_counts;
+  /// Reconstructed total employment of the establishment.
+  double reconstructed_total = 0.0;
+};
+
+/// Attack 2 (violates Def. 4.2): an attacker who knows ONE true cell count
+/// (e.g. "100 male employees aged 20-25") reconstructs f_w from the
+/// published value of that cell, then inverts every other cell and the
+/// establishment's total size. Requires the known cell to clear the
+/// small-cell limit; cells below the limit are reconstructed as their
+/// published (replaced) values and flagged by being left as-is.
+Result<SizeAttackResult> ReconstructEstablishmentSize(
+    const std::vector<double>& published, size_t known_cell_index,
+    int64_t known_true_count, double small_cell_limit);
+
+/// \brief Result of the worker re-identification attack.
+struct ReidentificationResult {
+  /// True iff exactly one cell with the known property has a positive
+  /// published count — the attacker then knows the victim's remaining
+  /// attributes with certainty.
+  bool unique_match = false;
+  /// Index of that cell when unique_match is true.
+  size_t matched_cell = 0;
+};
+
+/// Attack 3 (violates Def. 4.1): the attacker knows a single employee at
+/// the establishment has a property (e.g. a college degree) that is unique
+/// within that workforce. Because the SDL preserves zeros exactly, the only
+/// positive published cell among `cell_has_property` reveals the victim's
+/// other attributes. `published[i]` are released counts,
+/// `cell_has_property[i]` marks the cells consistent with the attacker's
+/// background knowledge.
+Result<ReidentificationResult> ReidentifyWorker(
+    const std::vector<double>& published,
+    const std::vector<bool>& cell_has_property);
+
+}  // namespace eep::sdl
+
+#endif  // EEP_SDL_ATTACKS_H_

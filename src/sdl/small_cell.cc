@@ -1,0 +1,60 @@
+#include "sdl/small_cell.h"
+
+#include <cmath>
+#include <vector>
+
+namespace eep::sdl {
+
+SmallCellSampler::SmallCellSampler(double limit)
+    : limit_(limit), max_value_(static_cast<int64_t>(std::floor(limit))) {}
+
+Result<SmallCellSampler> SmallCellSampler::Create(double limit) {
+  if (!(limit > 1.0)) {
+    return Status::InvalidArgument("small-cell limit must be > 1");
+  }
+  return SmallCellSampler(limit);
+}
+
+bool SmallCellSampler::NeedsReplacement(int64_t true_count) const {
+  return true_count > 0 && static_cast<double>(true_count) < limit_;
+}
+
+Result<double> SmallCellSampler::ReplacementProbability(int64_t true_count,
+                                                        int64_t k) const {
+  if (k < 1 || k > max_value_) {
+    return Status::OutOfRange("replacement value outside support");
+  }
+  if (!NeedsReplacement(true_count)) {
+    return Status::InvalidArgument("cell does not need replacement");
+  }
+  // Negative-binomial predictive from a Gamma(c + 1/2, 1) posterior over the
+  // Poisson rate: Pr[k] ∝ Gamma(k + c + 1/2) / (k! * 2^k), truncated to the
+  // support. Computed in log space for stability.
+  const double a = static_cast<double>(true_count) + 0.5;
+  auto log_weight = [a](int64_t kk) {
+    return std::lgamma(static_cast<double>(kk) + a) -
+           std::lgamma(static_cast<double>(kk) + 1.0) -
+           static_cast<double>(kk) * std::log(2.0);
+  };
+  double total = 0.0;
+  const double ref = log_weight(1);
+  for (int64_t kk = 1; kk <= max_value_; ++kk) {
+    total += std::exp(log_weight(kk) - ref);
+  }
+  return std::exp(log_weight(k) - ref) / total;
+}
+
+Result<int64_t> SmallCellSampler::Sample(int64_t true_count, Rng& rng) const {
+  if (!NeedsReplacement(true_count)) {
+    return Status::InvalidArgument("cell does not need replacement");
+  }
+  std::vector<double> probs;
+  probs.reserve(static_cast<size_t>(max_value_));
+  for (int64_t k = 1; k <= max_value_; ++k) {
+    EEP_ASSIGN_OR_RETURN(double p, ReplacementProbability(true_count, k));
+    probs.push_back(p);
+  }
+  return static_cast<int64_t>(rng.Categorical(probs)) + 1;
+}
+
+}  // namespace eep::sdl

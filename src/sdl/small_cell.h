@@ -1,0 +1,48 @@
+// Small-cell replacement for the SDL baseline (Section 5.1): marginal cells
+// whose TRUE count lies in the open interval (0, S) are replaced by a draw
+// from a posterior-predictive distribution supported on {1, ..., floor(S)}.
+#ifndef EEP_SDL_SMALL_CELL_H_
+#define EEP_SDL_SMALL_CELL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace eep::sdl {
+
+/// \brief Posterior-predictive sampler on {1, ..., floor(S)}.
+///
+/// We model the latent cell rate with a Gamma(count + 1/2, 1) posterior
+/// (Jeffreys prior over a Poisson count) and draw from the implied
+/// predictive distribution truncated to {1, ..., floor(S)} — integers only,
+/// never zero, as the production system requires. With the paper's S = 2.5
+/// the support is {1, 2}.
+class SmallCellSampler {
+ public:
+  /// Fails unless limit > 1 (the support would otherwise be empty).
+  static Result<SmallCellSampler> Create(double limit);
+
+  double limit() const { return limit_; }
+  int64_t max_value() const { return max_value_; }
+
+  /// True iff a cell with this true count must be replaced.
+  bool NeedsReplacement(int64_t true_count) const;
+
+  /// Probability that the replacement equals k (1 <= k <= max_value()),
+  /// given the true count.
+  Result<double> ReplacementProbability(int64_t true_count, int64_t k) const;
+
+  /// One replacement draw for a cell with the given true count.
+  /// Requires NeedsReplacement(true_count).
+  Result<int64_t> Sample(int64_t true_count, Rng& rng) const;
+
+ private:
+  explicit SmallCellSampler(double limit);
+  double limit_;
+  int64_t max_value_;
+};
+
+}  // namespace eep::sdl
+
+#endif  // EEP_SDL_SMALL_CELL_H_

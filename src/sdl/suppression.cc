@@ -1,0 +1,56 @@
+#include "sdl/suppression.h"
+
+namespace eep::sdl {
+
+Status SuppressionParams::Validate() const {
+  if (min_establishments < 1) {
+    return Status::InvalidArgument("min_establishments must be >= 1");
+  }
+  if (!(dominance_share > 0.0 && dominance_share <= 1.0)) {
+    return Status::InvalidArgument("dominance_share must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+double SuppressionResult::SuppressedCellShare() const {
+  if (total_cells == 0) return 0.0;
+  return static_cast<double>(suppressed_cells) /
+         static_cast<double>(total_cells);
+}
+
+double SuppressionResult::SuppressedEmploymentShare() const {
+  if (total_employment == 0) return 0.0;
+  return static_cast<double>(suppressed_employment) /
+         static_cast<double>(total_employment);
+}
+
+Result<SuppressionResult> SuppressMarginal(const lodes::MarginalQuery& query,
+                                           const SuppressionParams& params) {
+  EEP_RETURN_NOT_OK(params.Validate());
+  SuppressionResult result;
+  result.cells.reserve(query.cells().size());
+  for (const auto& cell : query.cells()) {
+    result.total_cells += 1;
+    result.total_employment += cell.count;
+    SuppressedCell released;
+    if (cell.count == 0) {
+      // Nothing to protect: publish the structural zero.
+      released.value = 0;
+    } else {
+      const bool too_few = cell.num_estabs < params.min_establishments;
+      const bool dominated =
+          static_cast<double>(cell.x_v) >
+          params.dominance_share * static_cast<double>(cell.count);
+      if (too_few || dominated) {
+        ++result.suppressed_cells;
+        result.suppressed_employment += cell.count;
+      } else {
+        released.value = cell.count;
+      }
+    }
+    result.cells.push_back(released);
+  }
+  return result;
+}
+
+}  // namespace eep::sdl

@@ -1,0 +1,67 @@
+// Primary cell suppression — the pre-noise-infusion SDL standard the
+// paper's Appendix A traces back to Fellegi (1972): instead of perturbing,
+// the agency withholds any cell that could identify a respondent. Two
+// classical primary-suppression rules are implemented:
+//
+//  * threshold rule: suppress cells with fewer than `min_establishments`
+//    contributing establishments;
+//  * p%-dominance rule: suppress cells where the largest establishment
+//    contributes more than `dominance_share` of the count (its value could
+//    be estimated too precisely by the runner-up).
+//
+// Complementary suppression (protecting primaries from subtraction attacks
+// via published totals) is out of scope because this library releases
+// single marginals without additive totals; the module exists to quantify
+// the DATA LOSS of suppression, the cost that motivated noise infusion and
+// that the paper's formally private mechanisms avoid entirely.
+#ifndef EEP_SDL_SUPPRESSION_H_
+#define EEP_SDL_SUPPRESSION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "lodes/marginal.h"
+
+namespace eep::sdl {
+
+/// \brief Primary-suppression parameters.
+struct SuppressionParams {
+  /// Cells with fewer contributing establishments are suppressed.
+  int64_t min_establishments = 3;
+  /// Cells where the top establishment exceeds this share are suppressed.
+  double dominance_share = 0.8;
+
+  Status Validate() const;
+};
+
+/// \brief One released cell: either the exact count or suppressed.
+struct SuppressedCell {
+  /// Exact count when published; nullopt when suppressed.
+  std::optional<int64_t> value;
+  bool suppressed() const { return !value.has_value(); }
+};
+
+/// \brief Outcome of suppressing a marginal.
+struct SuppressionResult {
+  std::vector<SuppressedCell> cells;  ///< In query.cells() order.
+  int64_t suppressed_cells = 0;
+  int64_t suppressed_employment = 0;  ///< Jobs hidden inside suppressed cells.
+  int64_t total_cells = 0;
+  int64_t total_employment = 0;
+
+  double SuppressedCellShare() const;
+  double SuppressedEmploymentShare() const;
+};
+
+/// Applies primary suppression to a computed marginal. Zero cells are
+/// published as zeros (no establishments to protect). Deterministic — the
+/// classical scheme adds no noise, which is precisely why the exact values
+/// it DOES publish are disclosive under subtraction attacks.
+Result<SuppressionResult> SuppressMarginal(const lodes::MarginalQuery& query,
+                                           const SuppressionParams& params);
+
+}  // namespace eep::sdl
+
+#endif  // EEP_SDL_SUPPRESSION_H_

@@ -1,0 +1,73 @@
+#include "table/column.h"
+
+namespace eep::table {
+
+Column Column::OfInt64(std::vector<int64_t> values) {
+  return Column(Storage(std::move(values)));
+}
+Column Column::OfDouble(std::vector<double> values) {
+  return Column(Storage(std::move(values)));
+}
+Column Column::OfString(std::vector<std::string> values) {
+  return Column(Storage(std::move(values)));
+}
+Column Column::OfCategory(std::vector<uint32_t> codes) {
+  return Column(Storage(std::move(codes)));
+}
+
+DataType Column::type() const {
+  switch (values_.index()) {
+    case 0: return DataType::kInt64;
+    case 1: return DataType::kDouble;
+    case 2: return DataType::kString;
+    default: return DataType::kCategory;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, values_);
+}
+
+Result<const std::vector<int64_t>*> Column::AsInt64() const {
+  if (auto* v = std::get_if<std::vector<int64_t>>(&values_)) return v;
+  return Status::InvalidArgument("column is not int64");
+}
+Result<const std::vector<double>*> Column::AsDouble() const {
+  if (auto* v = std::get_if<std::vector<double>>(&values_)) return v;
+  return Status::InvalidArgument("column is not double");
+}
+Result<const std::vector<std::string>*> Column::AsString() const {
+  if (auto* v = std::get_if<std::vector<std::string>>(&values_)) return v;
+  return Status::InvalidArgument("column is not string");
+}
+Result<const std::vector<uint32_t>*> Column::AsCategory() const {
+  if (auto* v = std::get_if<std::vector<uint32_t>>(&values_)) return v;
+  return Status::InvalidArgument("column is not category");
+}
+
+Column Column::FilterCopy(const std::vector<bool>& mask) const {
+  return std::visit(
+      [&mask](const auto& values) {
+        using Vec = std::decay_t<decltype(values)>;
+        Vec out;
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (mask[i]) out.push_back(values[i]);
+        }
+        return Column(Storage(std::move(out)));
+      },
+      values_);
+}
+
+Column Column::TakeCopy(const std::vector<uint32_t>& indices) const {
+  return std::visit(
+      [&indices](const auto& values) {
+        using Vec = std::decay_t<decltype(values)>;
+        Vec out;
+        out.reserve(indices.size());
+        for (uint32_t idx : indices) out.push_back(values[idx]);
+        return Column(Storage(std::move(out)));
+      },
+      values_);
+}
+
+}  // namespace eep::table

@@ -1,0 +1,69 @@
+// Column storage for the in-memory columnar engine.
+#ifndef EEP_TABLE_COLUMN_H_
+#define EEP_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "table/schema.h"
+
+namespace eep::table {
+
+/// \brief One column of a Table: typed, contiguous storage.
+///
+/// A Column owns its values. Type mismatches between a Column and the
+/// accessor used on it are programming errors and abort in debug builds;
+/// the checked `As*` accessors return Status instead.
+class Column {
+ public:
+  static Column OfInt64(std::vector<int64_t> values);
+  static Column OfDouble(std::vector<double> values);
+  static Column OfString(std::vector<std::string> values);
+  static Column OfCategory(std::vector<uint32_t> codes);
+
+  DataType type() const;
+  size_t size() const;
+
+  /// Unchecked typed views (UB on type mismatch; use in hot loops after
+  /// validating the schema once).
+  const std::vector<int64_t>& int64s() const {
+    return std::get<std::vector<int64_t>>(values_);
+  }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(values_);
+  }
+  const std::vector<std::string>& strings() const {
+    return std::get<std::vector<std::string>>(values_);
+  }
+  const std::vector<uint32_t>& codes() const {
+    return std::get<std::vector<uint32_t>>(values_);
+  }
+
+  /// Checked typed views.
+  Result<const std::vector<int64_t>*> AsInt64() const;
+  Result<const std::vector<double>*> AsDouble() const;
+  Result<const std::vector<std::string>*> AsString() const;
+  Result<const std::vector<uint32_t>*> AsCategory() const;
+
+  /// A copy of this column keeping only rows where mask[i] is true.
+  /// mask.size() must equal size().
+  Column FilterCopy(const std::vector<bool>& mask) const;
+
+  /// A copy of this column with rows gathered by `indices` (values may
+  /// repeat, enabling join output materialization).
+  Column TakeCopy(const std::vector<uint32_t>& indices) const;
+
+ private:
+  using Storage = std::variant<std::vector<int64_t>, std::vector<double>,
+                               std::vector<std::string>,
+                               std::vector<uint32_t>>;
+  explicit Column(Storage values) : values_(std::move(values)) {}
+  Storage values_;
+};
+
+}  // namespace eep::table
+
+#endif  // EEP_TABLE_COLUMN_H_

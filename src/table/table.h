@@ -1,0 +1,91 @@
+// The Table type: an immutable set of equal-length named columns, plus the
+// relational operators the LODES pipeline needs (filter, select, hash join).
+#ifndef EEP_TABLE_TABLE_H_
+#define EEP_TABLE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace eep::table {
+
+/// \brief Immutable relational table (schema + columns of equal length).
+class Table {
+ public:
+  /// Fails unless every column length matches and column count == field
+  /// count, and column types match the schema.
+  static Result<Table> Create(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  /// Column by field name, or NotFound.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Rows where mask[i] is true. mask must have num_rows() entries.
+  Result<Table> Filter(const std::vector<bool>& mask) const;
+
+  /// Keeps only the named columns, in the given order.
+  Result<Table> Select(const std::vector<std::string>& names) const;
+
+  /// Inner hash join on int64 key columns. Every right key must be unique
+  /// (the joins in this codebase are fact-to-dimension: Job -> Worker,
+  /// Job -> Workplace). Output columns: all left columns, then all right
+  /// columns except the right key.
+  static Result<Table> HashJoin(const Table& left,
+                                const std::string& left_key,
+                                const Table& right,
+                                const std::string& right_key);
+
+ private:
+  Table(Schema schema, std::vector<Column> columns, size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_;
+};
+
+/// \brief Row-at-a-time builder that produces a Table.
+///
+/// Convenient for generators and tests; columnar appends are available via
+/// Table::Create for hot paths.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row. `int64s`, `doubles`, `strings`, `codes` must supply
+  /// values for the schema's fields of the matching type, in field order.
+  Status AppendRow(const std::vector<int64_t>& int64s,
+                   const std::vector<double>& doubles,
+                   const std::vector<std::string>& strings,
+                   const std::vector<uint32_t>& codes);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes into a Table; the builder is left empty.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<int64_t>> int64_cols_;
+  std::vector<std::vector<double>> double_cols_;
+  std::vector<std::vector<std::string>> string_cols_;
+  std::vector<std::vector<uint32_t>> code_cols_;
+  // Maps field index -> (which type bucket, index within bucket).
+  std::vector<std::pair<DataType, size_t>> slots_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace eep::table
+
+#endif  // EEP_TABLE_TABLE_H_

@@ -1,0 +1,81 @@
+#include "privacy/admissible.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace eep::privacy {
+namespace {
+
+TEST(GeneralizedCauchyAdmissibleTest, Lemma86Budgets) {
+  // (eps1/(1+gamma), eps2/(1+gamma)) with gamma = 4 -> divide by 5.
+  auto budget = GeneralizedCauchyAdmissible(1.0, 0.5, 4.0).value();
+  EXPECT_NEAR(budget.a, 0.2, 1e-12);
+  EXPECT_NEAR(budget.b, 0.1, 1e-12);
+  EXPECT_EQ(budget.delta, 0.0);
+}
+
+TEST(GeneralizedCauchyAdmissibleTest, Validation) {
+  EXPECT_FALSE(GeneralizedCauchyAdmissible(0.0, 1.0, 4.0).ok());
+  EXPECT_FALSE(GeneralizedCauchyAdmissible(1.0, -1.0, 4.0).ok());
+  EXPECT_FALSE(GeneralizedCauchyAdmissible(1.0, 1.0, 0.0).ok());
+}
+
+TEST(LaplaceAdmissibleTest, Lemma91Budgets) {
+  auto budget = LaplaceAdmissible(2.0, 0.05).value();
+  EXPECT_NEAR(budget.a, 1.0, 1e-12);
+  EXPECT_NEAR(budget.b, 2.0 / (2.0 * std::log(20.0)), 1e-12);
+  EXPECT_EQ(budget.delta, 0.05);
+}
+
+TEST(LaplaceAdmissibleTest, Validation) {
+  EXPECT_FALSE(LaplaceAdmissible(0.0, 0.05).ok());
+  EXPECT_FALSE(LaplaceAdmissible(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceAdmissible(1.0, 1.0).ok());
+}
+
+// Numeric verification of Lemma 8.6: the gamma=4 density satisfies both
+// admissibility inequalities at the analytic budgets.
+TEST(AdmissibilityGridTest, GeneralizedCauchySatisfiesLemma86) {
+  GeneralizedCauchy4 dist;
+  const double eps1 = 1.0, eps2 = 0.8;
+  auto budget = GeneralizedCauchyAdmissible(eps1, eps2, 4.0).value();
+  auto check = CheckAdmissibilityOnGrid(
+      [&dist](double z) { return dist.Pdf(z); }, budget.a, budget.b, eps1,
+      eps2);
+  EXPECT_TRUE(check.sliding_ok)
+      << "worst sliding log ratio " << check.worst_sliding_log_ratio;
+  EXPECT_TRUE(check.dilation_ok)
+      << "worst dilation log ratio " << check.worst_dilation_log_ratio;
+}
+
+// The dilation inequality is TIGHT in the tail: inflating the budget b by a
+// large factor must violate it (sanity check that the test has power).
+TEST(AdmissibilityGridTest, GeneralizedCauchyFailsWithInflatedDilation) {
+  GeneralizedCauchy4 dist;
+  const double eps1 = 1.0, eps2 = 0.8;
+  auto budget = GeneralizedCauchyAdmissible(eps1, eps2, 4.0).value();
+  auto check = CheckAdmissibilityOnGrid(
+      [&dist](double z) { return dist.Pdf(z); }, budget.a,
+      budget.b * 3.0, eps1, eps2);
+  EXPECT_FALSE(check.dilation_ok);
+}
+
+// Laplace sliding at scale 1 with shift a costs exactly a nats, so eps1 =
+// a is tight; eps1 slightly below a must fail.
+TEST(AdmissibilityGridTest, LaplaceSlidingTight) {
+  auto lap = LaplaceDistribution::Create(1.0).value();
+  auto pdf = [&lap](double z) { return lap.Pdf(z); };
+  auto pass = CheckAdmissibilityOnGrid(pdf, /*a=*/0.5, /*b=*/0.01,
+                                       /*eps1=*/0.5, /*eps2=*/1.0);
+  EXPECT_TRUE(pass.sliding_ok);
+  EXPECT_NEAR(pass.worst_sliding_log_ratio, 0.5, 1e-6);
+  auto fail = CheckAdmissibilityOnGrid(pdf, /*a=*/0.5, /*b=*/0.01,
+                                       /*eps1=*/0.45, /*eps2=*/1.0);
+  EXPECT_FALSE(fail.sliding_ok);
+}
+
+}  // namespace
+}  // namespace eep::privacy

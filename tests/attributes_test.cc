@@ -1,0 +1,73 @@
+#include "lodes/attributes.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::lodes {
+namespace {
+
+TEST(AttributeDomainsTest, FixedDomainSizes) {
+  EXPECT_EQ(NaicsSectors().size(), 20u);
+  EXPECT_EQ(OwnershipCodes().size(), 3u);
+  EXPECT_EQ(SexCodes().size(), 2u);
+  EXPECT_EQ(AgeBins().size(), 8u);
+  EXPECT_EQ(RaceCodes().size(), 6u);
+  EXPECT_EQ(EthnicityCodes().size(), 2u);
+  EXPECT_EQ(EducationCodes().size(), 4u);
+}
+
+TEST(AttributeDomainsTest, SpecialCodesMatchDictionaries) {
+  EXPECT_EQ(SexCodes()[FemaleCode()], "F");
+  EXPECT_EQ(EducationCodes()[CollegeCode()], "BA+");
+}
+
+TEST(AttributeDomainsTest, CreateRequiresPlaces) {
+  EXPECT_FALSE(AttributeDomains::Create({}).ok());
+  EXPECT_FALSE(AttributeDomains::Create({{"", 10}}).ok());
+  EXPECT_FALSE(AttributeDomains::Create({{"a", 1}, {"a", 2}}).ok());
+  EXPECT_TRUE(AttributeDomains::Create({{"a", 1}, {"b", 2}}).ok());
+}
+
+TEST(AttributeDomainsTest, DictForEveryColumn) {
+  auto domains = AttributeDomains::Create({{"p0", 50}}).value();
+  for (const char* col : {kColPlace, kColNaics, kColOwnership, kColSex,
+                          kColAge, kColRace, kColEthnicity, kColEducation}) {
+    EXPECT_TRUE(domains.DictFor(col).ok()) << col;
+  }
+  EXPECT_FALSE(domains.DictFor("bogus").ok());
+  EXPECT_FALSE(domains.DictFor(kColWorkerId).ok());
+}
+
+TEST(AttributeDomainsTest, SchemasWellFormed) {
+  auto domains = AttributeDomains::Create({{"p0", 50}, {"p1", 9000}}).value();
+  auto worker = domains.WorkerSchema().value();
+  EXPECT_EQ(worker.num_fields(), 6u);
+  EXPECT_TRUE(worker.Contains(kColWorkerId));
+  EXPECT_TRUE(worker.Contains(kColEducation));
+
+  auto workplace = domains.WorkplaceSchema().value();
+  EXPECT_EQ(workplace.num_fields(), 4u);
+  EXPECT_TRUE(workplace.Contains(kColEstabId));
+  EXPECT_TRUE(workplace.Contains(kColPlace));
+  EXPECT_EQ(workplace.field(3).dictionary->size(), 2u);  // two places
+
+  auto job = domains.JobSchema().value();
+  EXPECT_EQ(job.num_fields(), 2u);
+}
+
+TEST(AttributeDomainsTest, AttributeClassification) {
+  EXPECT_TRUE(AttributeDomains::IsWorkplaceAttribute(kColPlace));
+  EXPECT_TRUE(AttributeDomains::IsWorkplaceAttribute(kColNaics));
+  EXPECT_TRUE(AttributeDomains::IsWorkplaceAttribute(kColOwnership));
+  EXPECT_FALSE(AttributeDomains::IsWorkplaceAttribute(kColSex));
+
+  EXPECT_TRUE(AttributeDomains::IsWorkerAttribute(kColSex));
+  EXPECT_TRUE(AttributeDomains::IsWorkerAttribute(kColAge));
+  EXPECT_TRUE(AttributeDomains::IsWorkerAttribute(kColRace));
+  EXPECT_TRUE(AttributeDomains::IsWorkerAttribute(kColEthnicity));
+  EXPECT_TRUE(AttributeDomains::IsWorkerAttribute(kColEducation));
+  EXPECT_FALSE(AttributeDomains::IsWorkerAttribute(kColNaics));
+  EXPECT_FALSE(AttributeDomains::IsWorkerAttribute(kColEstabId));
+}
+
+}  // namespace
+}  // namespace eep::lodes

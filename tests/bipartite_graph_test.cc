@@ -1,0 +1,80 @@
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::graph {
+namespace {
+
+BipartiteGraph ToyGraph() {
+  // Estab 10: workers {1,2,3}; estab 20: worker {4}; estab 30: {5,6}.
+  return BipartiteGraph::Create({{1, 10},
+                                 {2, 10},
+                                 {3, 10},
+                                 {4, 20},
+                                 {5, 30},
+                                 {6, 30}})
+      .value();
+}
+
+TEST(BipartiteGraphTest, BasicCounts) {
+  BipartiteGraph g = ToyGraph();
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.num_establishments(), 3);
+  EXPECT_EQ(g.num_workers(), 6);
+}
+
+TEST(BipartiteGraphTest, Degrees) {
+  BipartiteGraph g = ToyGraph();
+  EXPECT_EQ(g.EstabDegree(10), 3);
+  EXPECT_EQ(g.EstabDegree(20), 1);
+  EXPECT_EQ(g.EstabDegree(999), 0);
+  EXPECT_EQ(g.MaxEstabDegree(), 3);
+}
+
+TEST(BipartiteGraphTest, EstabDegreesSorted) {
+  BipartiteGraph g = ToyGraph();
+  auto degrees = g.EstabDegrees();
+  ASSERT_EQ(degrees.size(), 3u);
+  EXPECT_EQ(degrees[0], std::make_pair(int64_t{10}, int64_t{3}));
+  EXPECT_EQ(degrees[2], std::make_pair(int64_t{30}, int64_t{2}));
+}
+
+TEST(BipartiteGraphTest, DegreeHistogram) {
+  BipartiteGraph g = ToyGraph();
+  auto hist = g.DegreeHistogram();
+  ASSERT_EQ(hist.size(), 4u);  // degrees 0..3
+  EXPECT_EQ(hist[0], 0);
+  EXPECT_EQ(hist[1], 1);
+  EXPECT_EQ(hist[2], 1);
+  EXPECT_EQ(hist[3], 1);
+}
+
+TEST(BipartiteGraphTest, CountAboveThreshold) {
+  BipartiteGraph g = ToyGraph();
+  EXPECT_EQ(g.CountEstablishmentsAbove(1), 2);
+  EXPECT_EQ(g.CountEstablishmentsAbove(2), 1);
+  EXPECT_EQ(g.CountEstablishmentsAbove(3), 0);
+}
+
+TEST(BipartiteGraphTest, WorkersAtSortedOrEmpty) {
+  BipartiteGraph g = ToyGraph();
+  const auto& workers = g.WorkersAt(10);
+  ASSERT_EQ(workers.size(), 3u);
+  EXPECT_EQ(workers[0], 1);
+  EXPECT_EQ(workers[2], 3);
+  EXPECT_TRUE(g.WorkersAt(12345).empty());
+}
+
+TEST(BipartiteGraphTest, RejectsDuplicateEdge) {
+  EXPECT_FALSE(BipartiteGraph::Create({{1, 10}, {1, 10}}).ok());
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  BipartiteGraph g = BipartiteGraph::Create({}).value();
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.MaxEstabDegree(), 0);
+  EXPECT_EQ(g.DegreeHistogram().size(), 1u);
+}
+
+}  // namespace
+}  // namespace eep::graph

@@ -1,0 +1,63 @@
+#include "table/column.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::table {
+namespace {
+
+TEST(ColumnTest, TypedConstructionAndAccess) {
+  Column c1 = Column::OfInt64({1, 2, 3});
+  EXPECT_EQ(c1.type(), DataType::kInt64);
+  EXPECT_EQ(c1.size(), 3u);
+  EXPECT_EQ(c1.int64s()[1], 2);
+
+  Column c2 = Column::OfDouble({1.5});
+  EXPECT_EQ(c2.type(), DataType::kDouble);
+  Column c3 = Column::OfString({"a", "b"});
+  EXPECT_EQ(c3.type(), DataType::kString);
+  Column c4 = Column::OfCategory({0, 1, 0});
+  EXPECT_EQ(c4.type(), DataType::kCategory);
+}
+
+TEST(ColumnTest, CheckedAccessors) {
+  Column c = Column::OfInt64({5});
+  EXPECT_TRUE(c.AsInt64().ok());
+  EXPECT_FALSE(c.AsDouble().ok());
+  EXPECT_FALSE(c.AsString().ok());
+  EXPECT_FALSE(c.AsCategory().ok());
+  EXPECT_EQ((*c.AsInt64().value())[0], 5);
+}
+
+TEST(ColumnTest, FilterCopy) {
+  Column c = Column::OfInt64({10, 20, 30, 40});
+  Column filtered = c.FilterCopy({true, false, true, false});
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered.int64s()[0], 10);
+  EXPECT_EQ(filtered.int64s()[1], 30);
+}
+
+TEST(ColumnTest, FilterCopyPreservesType) {
+  Column c = Column::OfString({"x", "y"});
+  Column filtered = c.FilterCopy({false, true});
+  EXPECT_EQ(filtered.type(), DataType::kString);
+  EXPECT_EQ(filtered.strings()[0], "y");
+}
+
+TEST(ColumnTest, TakeCopyGathersWithRepeats) {
+  Column c = Column::OfDouble({1.0, 2.0, 3.0});
+  Column taken = c.TakeCopy({2, 0, 2, 2});
+  ASSERT_EQ(taken.size(), 4u);
+  EXPECT_EQ(taken.doubles()[0], 3.0);
+  EXPECT_EQ(taken.doubles()[1], 1.0);
+  EXPECT_EQ(taken.doubles()[3], 3.0);
+}
+
+TEST(ColumnTest, EmptyColumn) {
+  Column c = Column::OfCategory({});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.FilterCopy({}).size(), 0u);
+  EXPECT_EQ(c.TakeCopy({}).size(), 0u);
+}
+
+}  // namespace
+}  // namespace eep::table

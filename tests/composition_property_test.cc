@@ -1,0 +1,154 @@
+// Composition properties (Theorems 7.3-7.5) checked empirically:
+// sequential releases multiply indistinguishability bounds (budgets add),
+// parallel releases over disjoint establishments do not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "mechanisms/smooth_gamma.h"
+#include "privacy/verification.h"
+
+namespace eep {
+namespace {
+
+// Joint output density of two independent releases at observations
+// (o1, o2), for a database whose cell has (count, x_v).
+double JointDensity(const mechanisms::SmoothGammaMechanism& mech,
+                    int64_t count, int64_t x_v, double o1, double o2) {
+  GeneralizedCauchy4 noise;
+  const double s = mech.NoiseScale({count, x_v, nullptr}).value();
+  return noise.Pdf((o1 - count) / s) / s * noise.Pdf((o2 - count) / s) / s;
+}
+
+TEST(CompositionPropertyTest, SequentialReleasesCostTwoEpsilon) {
+  // Two independent eps=1 releases of the same cell: neighbors must be
+  // indistinguishable at 2*eps but CAN exceed 1*eps — exactly Thm 7.3.
+  const double alpha = 0.05, epsilon = 1.0;
+  auto mech =
+      mechanisms::SmoothGammaMechanism::Create({alpha, epsilon, 0.0})
+          .value();
+  const int64_t count1 = 1000, xv1 = 400;
+  const auto grow = static_cast<int64_t>(std::floor(400 * (1 + alpha)));
+  const int64_t count2 = 1000 + (grow - 400), xv2 = grow;
+
+  // Single-release worst log-ratio on the same grid.
+  GeneralizedCauchy4 noise;
+  const double s1 = mech.NoiseScale({count1, xv1, nullptr}).value();
+  const double s2 = mech.NoiseScale({count2, xv2, nullptr}).value();
+  double single_worst = 0.0;
+  for (double o = 800.0; o <= 1300.0; o += 11.1) {
+    const double f1 = noise.Pdf((o - count1) / s1) / s1;
+    const double f2 = noise.Pdf((o - count2) / s2) / s2;
+    if (f1 <= 0.0 || f2 <= 0.0) continue;
+    single_worst = std::max(single_worst, std::abs(std::log(f1 / f2)));
+  }
+  ASSERT_GT(single_worst, 0.0);
+
+  double worst = 0.0;
+  for (double o1 = 800.0; o1 <= 1300.0; o1 += 11.1) {
+    for (double o2 = 800.0; o2 <= 1300.0; o2 += 11.1) {
+      const double f1 = JointDensity(mech, count1, xv1, o1, o2);
+      const double f2 = JointDensity(mech, count2, xv2, o1, o2);
+      if (f1 <= 0.0 || f2 <= 0.0) continue;
+      worst = std::max(worst, std::abs(std::log(f1 / f2)));
+    }
+  }
+  EXPECT_LE(worst, 2.0 * epsilon + 1e-9);
+  // Independent releases factorize, so the joint worst case is exactly
+  // twice the single worst case — the leak genuinely accumulates.
+  EXPECT_NEAR(worst, 2.0 * single_worst, 1e-6);
+}
+
+TEST(CompositionPropertyTest, ParallelDisjointEstablishmentsStayAtEpsilon) {
+  // Thm 7.4: cells over DISJOINT establishments. A neighbor changes one
+  // establishment, so only one cell's distribution moves; the joint ratio
+  // equals that single cell's ratio and stays within eps.
+  const double alpha = 0.05, epsilon = 1.0;
+  auto mech =
+      mechanisms::SmoothGammaMechanism::Create({alpha, epsilon, 0.0})
+          .value();
+  GeneralizedCauchy4 noise;
+
+  // Cell A (establishment e1) changes; cell B (establishment e2) does not.
+  const int64_t a1 = 500, a_xv1 = 500;
+  const auto a2 = static_cast<int64_t>(std::floor(500 * (1 + alpha)));
+  const int64_t b = 800, b_xv = 300;
+
+  const double sa1 = mech.NoiseScale({a1, a_xv1, nullptr}).value();
+  const double sa2 = mech.NoiseScale({a2, a2, nullptr}).value();
+  const double sb = mech.NoiseScale({b, b_xv, nullptr}).value();
+
+  double worst = 0.0;
+  for (double oa = 300.0; oa <= 800.0; oa += 9.7) {
+    for (double ob = 600.0; ob <= 1000.0; ob += 9.7) {
+      const double f1 = noise.Pdf((oa - a1) / sa1) / sa1 *
+                        noise.Pdf((ob - b) / sb) / sb;
+      const double f2 = noise.Pdf((oa - a2) / sa2) / sa2 *
+                        noise.Pdf((ob - b) / sb) / sb;
+      worst = std::max(worst, std::abs(std::log(f1 / f2)));
+    }
+  }
+  // The unchanged cell's factor cancels: still a single-epsilon bound.
+  EXPECT_LE(worst, epsilon + 1e-9);
+}
+
+TEST(CompositionPropertyTest, WeakWorkerCellsDoNotParallelCompose) {
+  // Thm 7.5 fails for weak privacy: under a weak alpha-neighbor, EVERY
+  // worker cell of the changed establishment can move by its own alpha
+  // band simultaneously, so the joint log-ratio of d cells approaches
+  // d * eps. Demonstrated with two sex cells of one establishment.
+  const double alpha = 0.05, epsilon = 1.0;
+  auto mech =
+      mechanisms::SmoothGammaMechanism::Create({alpha, epsilon, 0.0})
+          .value();
+  GeneralizedCauchy4 noise;
+
+  const int64_t m1 = 400, f1 = 600;  // male / female counts, world 1
+  const auto m2 = static_cast<int64_t>(std::floor(m1 * (1 + alpha)));
+  const auto f2 = static_cast<int64_t>(std::floor(f1 * (1 + alpha)));
+
+  const double sm1 = mech.NoiseScale({m1, m1, nullptr}).value();
+  const double sm2 = mech.NoiseScale({m2, m2, nullptr}).value();
+  const double sf1 = mech.NoiseScale({f1, f1, nullptr}).value();
+  const double sf2 = mech.NoiseScale({f2, f2, nullptr}).value();
+
+  // Per-cell worst log-ratios on the same grids.
+  double worst_m = 0.0, worst_f = 0.0;
+  for (double om = 200.0; om <= 700.0; om += 8.3) {
+    const double a = noise.Pdf((om - m1) / sm1) / sm1;
+    const double b = noise.Pdf((om - m2) / sm2) / sm2;
+    if (a > 0.0 && b > 0.0) {
+      worst_m = std::max(worst_m, std::abs(std::log(a / b)));
+    }
+  }
+  for (double of = 400.0; of <= 900.0; of += 8.3) {
+    const double a = noise.Pdf((of - f1) / sf1) / sf1;
+    const double b = noise.Pdf((of - f2) / sf2) / sf2;
+    if (a > 0.0 && b > 0.0) {
+      worst_f = std::max(worst_f, std::abs(std::log(a / b)));
+    }
+  }
+
+  double worst = 0.0;
+  for (double om = 200.0; om <= 700.0; om += 8.3) {
+    for (double of = 400.0; of <= 900.0; of += 8.3) {
+      const double d1 = noise.Pdf((om - m1) / sm1) / sm1 *
+                        noise.Pdf((of - f1) / sf1) / sf1;
+      const double d2 = noise.Pdf((om - m2) / sm2) / sm2 *
+                        noise.Pdf((of - f2) / sf2) / sf2;
+      if (d1 <= 0.0 || d2 <= 0.0) continue;
+      worst = std::max(worst, std::abs(std::log(d1 / d2)));
+    }
+  }
+  // Both cells move in the SAME direction under one weak neighbor, so the
+  // joint leak is the SUM of the per-cell leaks — strictly more than any
+  // single cell allows (the erosion the accountant's d-times surcharge
+  // pays for), while respecting the two-cell sequential bound.
+  EXPECT_NEAR(worst, worst_m + worst_f, 1e-6);
+  EXPECT_GT(worst, std::max(worst_m, worst_f) * 1.5);
+  EXPECT_LE(worst, 2.0 * epsilon + 1e-9);
+}
+
+}  // namespace
+}  // namespace eep

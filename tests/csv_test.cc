@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace eep {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  ASSERT_TRUE(writer.WriteHeader({"a", "b"}).ok());
+  ASSERT_TRUE(writer.WriteRow(std::vector<std::string>{"1", "x,y"}).ok());
+  ASSERT_TRUE(writer.WriteRow(std::vector<double>{2.5, 3.0}).ok());
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n2.5,3\n");
+  EXPECT_EQ(writer.rows_written(), 2);
+}
+
+TEST(CsvWriterTest, RejectsDoubleHeaderAndArityMismatch) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  ASSERT_TRUE(writer.WriteHeader({"a", "b"}).ok());
+  EXPECT_EQ(writer.WriteHeader({"c"}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.WriteRow(std::vector<std::string>{"only-one"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseLineTest, SimpleAndQuoted) {
+  auto fields = CsvParseLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b");
+
+  fields = CsvParseLine("\"x,y\",\"he said \"\"hi\"\"\",plain");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "he said \"hi\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(CsvParseLineTest, EmptyFieldsAndCrlf) {
+  auto fields = CsvParseLine("a,,c\r");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvFileTest, WriteReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/eep_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {{"1", "a,b"}, {"2", "plain"}};
+  ASSERT_TRUE(WriteCsvFile(path, {"id", "label"}, rows).ok());
+  auto doc = ReadCsvFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().header, (std::vector<std::string>{"id", "label"}));
+  ASSERT_EQ(doc.value().rows.size(), 2u);
+  EXPECT_EQ(doc.value().rows[0][1], "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace eep

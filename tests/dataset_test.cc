@@ -1,0 +1,120 @@
+#include "lodes/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace eep::lodes {
+namespace {
+
+// Hand-built two-establishment dataset for precise assertions.
+struct Fixture {
+  AttributeDomains domains;
+  table::Table workers;
+  table::Table workplaces;
+  table::Table jobs;
+};
+
+Fixture MakeFixture(bool dangling_worker = false, bool dangling_estab = false,
+                    bool duplicate_job = false) {
+  auto domains =
+      AttributeDomains::Create({{"small_town", 80}, {"big_city", 500000}})
+          .value();
+  using table::Column;
+
+  // Workers: 4 workers; attributes (sex, age, race, eth, edu).
+  auto workers =
+      table::Table::Create(
+          domains.WorkerSchema().value(),
+          {Column::OfInt64({1, 2, 3, 4}), Column::OfCategory({0, 1, 1, 0}),
+           Column::OfCategory({3, 3, 4, 5}), Column::OfCategory({0, 0, 1, 0}),
+           Column::OfCategory({0, 1, 0, 0}),
+           Column::OfCategory({1, 3, 3, 0})})
+          .value();
+
+  // Workplaces: estab 100 (sector 0, private, small_town),
+  //             estab 200 (sector 15, state-local, big_city).
+  auto workplaces =
+      table::Table::Create(
+          domains.WorkplaceSchema().value(),
+          {Column::OfInt64({100, 200}), Column::OfCategory({0, 15}),
+           Column::OfCategory({0, 1}), Column::OfCategory({0, 1})})
+          .value();
+
+  std::vector<int64_t> job_workers = {1, 2, 3, 4};
+  std::vector<int64_t> job_estabs = {100, 100, 200, 200};
+  if (dangling_worker) job_workers[0] = 999;
+  if (dangling_estab) job_estabs[0] = 999;
+  if (duplicate_job) job_workers[1] = 1;
+  auto jobs = table::Table::Create(domains.JobSchema().value(),
+                                   {Column::OfInt64(std::move(job_workers)),
+                                    Column::OfInt64(std::move(job_estabs))})
+                  .value();
+
+  return {std::move(domains), std::move(workers), std::move(workplaces),
+          std::move(jobs)};
+}
+
+TEST(LodesDatasetTest, CreateJoinsWorkerFull) {
+  Fixture f = MakeFixture();
+  auto data = LodesDataset::Create(f.domains, f.workers, f.workplaces,
+                                   f.jobs)
+                  .value();
+  EXPECT_EQ(data.num_jobs(), 4);
+  EXPECT_EQ(data.num_workers(), 4);
+  EXPECT_EQ(data.num_establishments(), 2);
+  const auto& full = data.worker_full();
+  EXPECT_EQ(full.num_rows(), 4u);
+  // Worker 3 works at estab 200 in big_city with education "BA+" (code 3).
+  const auto& wids = full.ColumnByName(kColWorkerId).value()->int64s();
+  const auto& places = full.ColumnByName(kColPlace).value()->codes();
+  const auto& edus = full.ColumnByName(kColEducation).value()->codes();
+  for (size_t i = 0; i < wids.size(); ++i) {
+    if (wids[i] == 3) {
+      EXPECT_EQ(places[i], 1u);
+      EXPECT_EQ(edus[i], 3u);
+    }
+  }
+}
+
+TEST(LodesDatasetTest, RejectsDanglingWorker) {
+  Fixture f = MakeFixture(/*dangling_worker=*/true);
+  EXPECT_FALSE(
+      LodesDataset::Create(f.domains, f.workers, f.workplaces, f.jobs).ok());
+}
+
+TEST(LodesDatasetTest, RejectsDanglingWorkplace) {
+  Fixture f = MakeFixture(false, /*dangling_estab=*/true);
+  EXPECT_FALSE(
+      LodesDataset::Create(f.domains, f.workers, f.workplaces, f.jobs).ok());
+}
+
+TEST(LodesDatasetTest, RejectsMultipleJobsPerWorker) {
+  Fixture f = MakeFixture(false, false, /*duplicate_job=*/true);
+  EXPECT_FALSE(
+      LodesDataset::Create(f.domains, f.workers, f.workplaces, f.jobs).ok());
+}
+
+TEST(LodesDatasetTest, PlacePopulationLookup) {
+  Fixture f = MakeFixture();
+  auto data =
+      LodesDataset::Create(f.domains, f.workers, f.workplaces, f.jobs)
+          .value();
+  EXPECT_EQ(data.PlacePopulation(0).value(), 80);
+  EXPECT_EQ(data.PlacePopulation(1).value(), 500000);
+  EXPECT_FALSE(data.PlacePopulation(7).ok());
+}
+
+TEST(LodesDatasetTest, BuildGraphMatchesJobs) {
+  Fixture f = MakeFixture();
+  auto data =
+      LodesDataset::Create(f.domains, f.workers, f.workplaces, f.jobs)
+          .value();
+  auto graph = data.BuildGraph().value();
+  EXPECT_EQ(graph.num_edges(), 4);
+  EXPECT_EQ(graph.EstabDegree(100), 2);
+  EXPECT_EQ(graph.EstabDegree(200), 2);
+}
+
+}  // namespace
+}  // namespace eep::lodes

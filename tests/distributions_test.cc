@@ -1,0 +1,175 @@
+#include "common/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eep {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LaplaceDistribution
+// ---------------------------------------------------------------------------
+
+TEST(LaplaceDistributionTest, CreateRejectsBadScale) {
+  EXPECT_FALSE(LaplaceDistribution::Create(0.0).ok());
+  EXPECT_FALSE(LaplaceDistribution::Create(-1.0).ok());
+  EXPECT_FALSE(
+      LaplaceDistribution::Create(std::numeric_limits<double>::infinity())
+          .ok());
+  EXPECT_TRUE(LaplaceDistribution::Create(1.0).ok());
+}
+
+TEST(LaplaceDistributionTest, PdfIntegratesToOne) {
+  auto d = LaplaceDistribution::Create(1.7).value();
+  double total = 0.0;
+  const double step = 0.001;
+  for (double x = -40.0; x <= 40.0; x += step) total += d.Pdf(x) * step;
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(LaplaceDistributionTest, CdfMatchesQuantile) {
+  auto d = LaplaceDistribution::Create(2.0).value();
+  for (double u : {0.01, 0.1, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(d.Cdf(d.Quantile(u)), u, 1e-12);
+  }
+}
+
+TEST(LaplaceDistributionTest, CdfSymmetry) {
+  auto d = LaplaceDistribution::Create(3.0).value();
+  EXPECT_NEAR(d.Cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(d.Cdf(-2.0) + d.Cdf(2.0), 1.0, 1e-12);
+}
+
+TEST(LaplaceDistributionTest, SampleMoments) {
+  auto d = LaplaceDistribution::Create(1.5).value();
+  Rng rng(61);
+  RunningStats abs_stats, stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = d.Sample(rng);
+    stats.Add(x);
+    abs_stats.Add(std::abs(x));
+  }
+  EXPECT_NEAR(abs_stats.mean(), d.MeanAbs(), 0.02);
+  EXPECT_NEAR(stats.variance(), d.Variance(), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// GeneralizedCauchy4 — the paper's h(z) ∝ 1/(1+z^4)
+// ---------------------------------------------------------------------------
+
+TEST(GeneralizedCauchy4Test, PdfIntegratesToOne) {
+  GeneralizedCauchy4 d;
+  double total = 0.0;
+  const double step = 0.001;
+  for (double x = -200.0; x <= 200.0; x += step) total += d.Pdf(x) * step;
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(GeneralizedCauchy4Test, PdfMatchesUnnormalizedForm) {
+  GeneralizedCauchy4 d;
+  const double c = std::sqrt(2.0) / M_PI;
+  for (double z : {-3.0, -1.0, 0.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(d.Pdf(z), c / (1.0 + z * z * z * z), 1e-12);
+  }
+}
+
+TEST(GeneralizedCauchy4Test, CdfLimitsAndMidpoint) {
+  GeneralizedCauchy4 d;
+  EXPECT_NEAR(d.Cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(d.Cdf(-1e6), 0.0, 1e-6);
+  EXPECT_NEAR(d.Cdf(1e6), 1.0, 1e-6);
+}
+
+TEST(GeneralizedCauchy4Test, CdfMatchesNumericIntegralOfPdf) {
+  GeneralizedCauchy4 d;
+  // Trapezoid integration of the pdf from -60 up to x.
+  const double step = 0.0005;
+  double acc = d.Cdf(-60.0);
+  double prev_pdf = d.Pdf(-60.0);
+  for (double x = -60.0 + step; x <= 3.0; x += step) {
+    const double p = d.Pdf(x);
+    acc += 0.5 * (p + prev_pdf) * step;
+    prev_pdf = p;
+  }
+  EXPECT_NEAR(acc, d.Cdf(3.0), 1e-5);
+}
+
+TEST(GeneralizedCauchy4Test, QuantileInvertsCdf) {
+  GeneralizedCauchy4 d;
+  for (double u : {0.001, 0.05, 0.3, 0.5, 0.72, 0.95, 0.999}) {
+    EXPECT_NEAR(d.Cdf(d.Quantile(u)), u, 1e-10);
+  }
+}
+
+TEST(GeneralizedCauchy4Test, CdfIsMonotone) {
+  GeneralizedCauchy4 d;
+  double prev = 0.0;
+  for (double x = -30.0; x <= 30.0; x += 0.01) {
+    const double c = d.Cdf(x);
+    EXPECT_GE(c, prev - 1e-14);
+    prev = c;
+  }
+}
+
+TEST(GeneralizedCauchy4Test, SampleMomentsMatchTheory) {
+  GeneralizedCauchy4 d;
+  Rng rng(67);
+  RunningStats abs_stats, stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = d.Sample(rng);
+    stats.Add(x);
+    abs_stats.Add(std::abs(x));
+  }
+  // E|Z| = sqrt(2)/2, Var = 1. (The heavy z^-3 tail slows convergence of the
+  // second moment; generous tolerance.)
+  EXPECT_NEAR(abs_stats.mean(), d.MeanAbs(), 0.01);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), d.Variance(), 0.15);
+}
+
+// ---------------------------------------------------------------------------
+// RampDistribution
+// ---------------------------------------------------------------------------
+
+TEST(RampDistributionTest, CreateValidation) {
+  EXPECT_FALSE(RampDistribution::Create(0.0, 0.2).ok());
+  EXPECT_FALSE(RampDistribution::Create(0.3, 0.2).ok());
+  EXPECT_FALSE(RampDistribution::Create(0.2, 0.2).ok());
+  EXPECT_TRUE(RampDistribution::Create(0.1, 0.25).ok());
+}
+
+TEST(RampDistributionTest, PdfIntegratesToOneAndDeclines) {
+  auto d = RampDistribution::Create(0.1, 0.25).value();
+  double total = 0.0;
+  const double step = 1e-5;
+  for (double x = 0.1; x <= 0.25; x += step) total += d.Pdf(x) * step;
+  EXPECT_NEAR(total, 1.0, 1e-3);
+  EXPECT_GT(d.Pdf(0.11), d.Pdf(0.2));  // mass concentrated near s
+  EXPECT_NEAR(d.Pdf(0.25), 0.0, 1e-12);
+}
+
+TEST(RampDistributionTest, CdfQuantileRoundTrip) {
+  auto d = RampDistribution::Create(0.1, 0.25).value();
+  for (double u : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    EXPECT_NEAR(d.Cdf(d.Quantile(u)), u, 1e-12);
+  }
+}
+
+TEST(RampDistributionTest, SamplesInSupportWithCorrectMean) {
+  auto d = RampDistribution::Create(0.1, 0.25).value();
+  Rng rng(71);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = d.Sample(rng);
+    EXPECT_GE(x, 0.1);
+    EXPECT_LE(x, 0.25);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.mean(), d.Mean(), 1e-3);
+}
+
+}  // namespace
+}  // namespace eep

@@ -1,0 +1,61 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eep {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  Flags f = MakeFlags({"--jobs=5000", "--alpha=0.1", "--name=test"});
+  EXPECT_EQ(f.GetInt("jobs", 0), 5000);
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 0.0), 0.1);
+  EXPECT_EQ(f.GetString("name", ""), "test");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = MakeFlags({});
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_TRUE(f.GetBool("missing", true));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = MakeFlags({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+}
+
+TEST(FlagsTest, MalformedNumbersFallBack) {
+  Flags f = MakeFlags({"--jobs=abc", "--alpha=x"});
+  EXPECT_EQ(f.GetInt("jobs", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("alpha", 1.5), 1.5);
+}
+
+TEST(FlagsTest, IgnoresPositionalArguments) {
+  Flags f = MakeFlags({"positional", "--a=1"});
+  EXPECT_FALSE(f.Has("positional"));
+  EXPECT_EQ(f.GetInt("a", 0), 1);
+}
+
+TEST(FlagsTest, BoolFormats) {
+  Flags f = MakeFlags({"--x=true", "--y=1", "--z=false"});
+  EXPECT_TRUE(f.GetBool("x", false));
+  EXPECT_TRUE(f.GetBool("y", false));
+  EXPECT_FALSE(f.GetBool("z", true));
+}
+
+}  // namespace
+}  // namespace eep

@@ -1,0 +1,161 @@
+#include "lodes/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/strata.h"
+
+namespace eep::lodes {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.seed = 99;
+  config.target_jobs = 20000;
+  config.num_places = 40;
+  return config;
+}
+
+TEST(GeneratorConfigTest, Validation) {
+  GeneratorConfig c = SmallConfig();
+  EXPECT_TRUE(c.Validate().ok());
+  c.target_jobs = 10;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.num_places = 2;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.pareto_tail_prob = 0.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = SmallConfig();
+  c.lognormal_sigma = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new LodesDataset(
+        SyntheticLodesGenerator(SmallConfig()).Generate().value());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static LodesDataset* data_;
+};
+
+LodesDataset* GeneratorTest::data_ = nullptr;
+
+TEST_F(GeneratorTest, ReachesTargetScale) {
+  EXPECT_GE(data_->num_jobs(), 20000);
+  EXPECT_LE(data_->num_jobs(), 45000);  // one establishment of overshoot
+  EXPECT_GT(data_->num_establishments(), 200);
+  EXPECT_EQ(data_->num_workers(), data_->num_jobs());  // one job each
+}
+
+TEST_F(GeneratorTest, JoinedTableHasAllColumns) {
+  const auto& full = data_->worker_full();
+  EXPECT_EQ(full.num_rows(), static_cast<size_t>(data_->num_jobs()));
+  for (const char* col : {kColWorkerId, kColEstabId, kColSex, kColAge,
+                          kColRace, kColEthnicity, kColEducation, kColNaics,
+                          kColOwnership, kColPlace}) {
+    EXPECT_TRUE(full.schema().Contains(col)) << col;
+  }
+}
+
+TEST_F(GeneratorTest, PlacesCoverAllFourStrata) {
+  std::array<int, eval::kNumStrata> counts{};
+  for (const auto& p : data_->places()) {
+    ++counts[eval::StratumOf(p.population)];
+  }
+  for (int s = 0; s < eval::kNumStrata; ++s) {
+    EXPECT_GE(counts[s], 5) << "stratum " << s;
+  }
+}
+
+TEST_F(GeneratorTest, EstablishmentSizesAreRightSkewed) {
+  auto graph = data_->BuildGraph().value();
+  const auto degrees = graph.EstabDegrees();
+  int64_t total = 0, max_degree = 0;
+  int64_t small = 0;
+  for (const auto& [estab, degree] : degrees) {
+    total += degree;
+    max_degree = std::max(max_degree, degree);
+    if (degree <= 10) ++small;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(degrees.size());
+  // Right skew: max far above mean, most establishments small.
+  EXPECT_GT(max_degree, 20 * mean);
+  EXPECT_GT(static_cast<double>(small) / degrees.size(), 0.5);
+}
+
+TEST_F(GeneratorTest, DeterministicAcrossRuns) {
+  auto again = SyntheticLodesGenerator(SmallConfig()).Generate().value();
+  EXPECT_EQ(again.num_jobs(), data_->num_jobs());
+  EXPECT_EQ(again.num_establishments(), data_->num_establishments());
+  // Spot-check one column matches exactly.
+  const auto& a = data_->worker_full().ColumnByName(kColSex).value()->codes();
+  const auto& b = again.worker_full().ColumnByName(kColSex).value()->codes();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 997) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = SmallConfig();
+  config.seed = 100;
+  auto other = SyntheticLodesGenerator(config).Generate().value();
+  EXPECT_NE(other.num_jobs(), data_->num_jobs());
+}
+
+TEST_F(GeneratorTest, WorkerAttributesCorrelateWithIndustry) {
+  // Health care (sector index of "62") should employ a higher share of
+  // women than construction ("23").
+  const auto& full = data_->worker_full();
+  const auto& naics = full.ColumnByName(kColNaics).value()->codes();
+  const auto& sex = full.ColumnByName(kColSex).value()->codes();
+  const auto& dict = *full.schema()
+                          .field(full.schema().IndexOf(kColNaics).value())
+                          .dictionary;
+  const uint32_t health = dict.CodeOf("62").value();
+  const uint32_t construction = dict.CodeOf("23").value();
+  int64_t health_total = 0, health_female = 0;
+  int64_t constr_total = 0, constr_female = 0;
+  for (size_t i = 0; i < naics.size(); ++i) {
+    if (naics[i] == health) {
+      ++health_total;
+      health_female += sex[i] == FemaleCode();
+    } else if (naics[i] == construction) {
+      ++constr_total;
+      constr_female += sex[i] == FemaleCode();
+    }
+  }
+  ASSERT_GT(health_total, 100);
+  ASSERT_GT(constr_total, 100);
+  EXPECT_GT(static_cast<double>(health_female) / health_total,
+            static_cast<double>(constr_female) / constr_total + 0.2);
+}
+
+TEST_F(GeneratorTest, OwnershipConcentratedInPublicAdmin) {
+  const auto& full = data_->worker_full();
+  const auto& naics = full.ColumnByName(kColNaics).value()->codes();
+  const auto& own = full.ColumnByName(kColOwnership).value()->codes();
+  const auto& dict = *full.schema()
+                          .field(full.schema().IndexOf(kColNaics).value())
+                          .dictionary;
+  const uint32_t pubadmin = dict.CodeOf("92").value();
+  int64_t pub_total = 0, pub_private = 0;
+  for (size_t i = 0; i < naics.size(); ++i) {
+    if (naics[i] == pubadmin) {
+      ++pub_total;
+      pub_private += own[i] == 0;  // "Private"
+    }
+  }
+  ASSERT_GT(pub_total, 50);
+  EXPECT_LT(static_cast<double>(pub_private) / pub_total, 0.3);
+}
+
+}  // namespace
+}  // namespace eep::lodes

@@ -1,0 +1,69 @@
+#include "mechanisms/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eep::mechanisms {
+namespace {
+
+privacy::PrivacyParams Params(double alpha, double eps, double delta) {
+  return {alpha, eps, delta};
+}
+
+TEST(GeometricMechanismTest, SameFeasibilityAsSmoothLaplace) {
+  EXPECT_FALSE(GeometricMechanism::Create(Params(0.1, 2.0, 0.0)).ok());
+  EXPECT_TRUE(GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(Params(0.2, 0.5, 0.05)).ok());
+}
+
+TEST(GeometricMechanismTest, IntegerOutputs) {
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  CellQuery cell{100, 40, nullptr};
+  Rng rng(71);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = mech.Release(cell, rng).value();
+    EXPECT_EQ(v, std::round(v)) << "released value must be integral";
+  }
+}
+
+TEST(GeometricMechanismTest, GeometricParameterMatchesScale) {
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  // scale = 2 * max(alpha x_v, 1) / eps = 2*10/2 = 10 -> p = e^{-1/10}.
+  CellQuery cell{500, 100, nullptr};
+  EXPECT_NEAR(mech.GeometricParameter(cell).value(), std::exp(-0.1), 1e-12);
+}
+
+TEST(GeometricMechanismTest, UnbiasedWithMatchingL1) {
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  CellQuery cell{250, 80, nullptr};
+  const double expected = mech.ExpectedL1Error(cell).value();
+  Rng rng(73);
+  RunningStats stats, err;
+  for (int i = 0; i < 300000; ++i) {
+    const double v = mech.Release(cell, rng).value();
+    stats.Add(v);
+    err.Add(std::abs(v - 250.0));
+  }
+  EXPECT_NEAR(stats.mean(), 250.0, 0.5);
+  EXPECT_NEAR(err.mean(), expected, expected * 0.02);
+}
+
+TEST(GeometricMechanismTest, TracksContinuousCounterpartError) {
+  // The integer mechanism's expected error approaches the continuous
+  // Laplace scale for large scales: 2p/(1-p^2) -> scale as p -> 1.
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  CellQuery cell{100000, 10000, nullptr};  // scale = 1000
+  EXPECT_NEAR(mech.ExpectedL1Error(cell).value(), 1000.0, 1.0);
+}
+
+TEST(GeometricMechanismTest, RejectsNegativeCount) {
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  Rng rng(79);
+  EXPECT_FALSE(mech.Release({-3, 0, nullptr}, rng).ok());
+}
+
+}  // namespace
+}  // namespace eep::mechanisms

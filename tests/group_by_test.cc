@@ -1,0 +1,129 @@
+#include "table/group_by.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::table {
+namespace {
+
+// Builds a toy "jobs" table: estab id plus two categorical attributes.
+Table ToyTable() {
+  auto color = Dictionary::Create({"red", "green"}).value();
+  auto size = Dictionary::Create({"s", "m", "l"}).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"color", DataType::kCategory, color},
+                                {"size", DataType::kCategory, size}})
+                    .value();
+  // (estab, color, size)
+  return Table::Create(
+             schema,
+             {Column::OfInt64({1, 1, 1, 2, 2, 3}),
+              Column::OfCategory({0, 0, 1, 0, 0, 1}),
+              Column::OfCategory({0, 0, 2, 0, 1, 2})})
+      .value();
+}
+
+TEST(GroupKeyCodecTest, PackUnpackRoundTrip) {
+  Table t = ToyTable();
+  auto codec = GroupKeyCodec::Create(t.schema(), {"color", "size"}).value();
+  EXPECT_EQ(codec.DomainSize(), 6u);
+  for (uint32_t c = 0; c < 2; ++c) {
+    for (uint32_t s = 0; s < 3; ++s) {
+      const uint64_t key = codec.Pack({c, s});
+      const auto codes = codec.Unpack(key);
+      EXPECT_EQ(codes[0], c);
+      EXPECT_EQ(codes[1], s);
+    }
+  }
+}
+
+TEST(GroupKeyCodecTest, PackingOrderIsOuterFirst) {
+  Table t = ToyTable();
+  auto codec = GroupKeyCodec::Create(t.schema(), {"color", "size"}).value();
+  // key = color * |size| + size.
+  EXPECT_EQ(codec.Pack({1, 2}), 5u);
+  EXPECT_EQ(codec.Pack({0, 2}), 2u);
+}
+
+TEST(GroupKeyCodecTest, Describe) {
+  Table t = ToyTable();
+  auto codec = GroupKeyCodec::Create(t.schema(), {"color", "size"}).value();
+  EXPECT_EQ(codec.Describe(t.schema(), codec.Pack({1, 0})).value(),
+            "color=green,size=s");
+  EXPECT_FALSE(codec.Describe(t.schema(), 99).ok());
+}
+
+TEST(GroupKeyCodecTest, CreateValidation) {
+  Table t = ToyTable();
+  EXPECT_FALSE(GroupKeyCodec::Create(t.schema(), {}).ok());
+  EXPECT_FALSE(GroupKeyCodec::Create(t.schema(), {"estab"}).ok());
+  EXPECT_FALSE(GroupKeyCodec::Create(t.schema(), {"missing"}).ok());
+}
+
+TEST(GroupCountByEstablishmentTest, CountsAndContributions) {
+  Table t = ToyTable();
+  auto grouped =
+      GroupCountByEstablishment(t, {"color", "size"}, "estab").value();
+  // Non-empty cells: (red,s): estab1 x2 + estab2 x1 = 3; (red,m): estab2 x1;
+  // (green,l): estab1 x1 + estab3 x1 = 2.
+  EXPECT_EQ(grouped.cells.size(), 3u);
+  const auto& codec = grouped.codec;
+
+  const GroupedCell* red_s = grouped.Find(codec.Pack({0, 0}));
+  ASSERT_NE(red_s, nullptr);
+  EXPECT_EQ(red_s->count, 3);
+  EXPECT_EQ(red_s->NumEstablishments(), 2);
+  EXPECT_EQ(red_s->MaxEstabContribution(), 2);
+  // Contributions sorted by estab id.
+  EXPECT_EQ(red_s->contributions[0].estab_id, 1);
+  EXPECT_EQ(red_s->contributions[0].count, 2);
+  EXPECT_EQ(red_s->contributions[1].estab_id, 2);
+
+  const GroupedCell* green_l = grouped.Find(codec.Pack({1, 2}));
+  ASSERT_NE(green_l, nullptr);
+  EXPECT_EQ(green_l->count, 2);
+  EXPECT_EQ(green_l->MaxEstabContribution(), 1);
+
+  EXPECT_EQ(grouped.Find(codec.Pack({1, 0})), nullptr);  // empty cell
+}
+
+TEST(GroupCountByEstablishmentTest, CellsSortedByKey) {
+  Table t = ToyTable();
+  auto grouped =
+      GroupCountByEstablishment(t, {"color", "size"}, "estab").value();
+  for (size_t i = 1; i < grouped.cells.size(); ++i) {
+    EXPECT_LT(grouped.cells[i - 1].key, grouped.cells[i].key);
+  }
+}
+
+TEST(GroupCountByEstablishmentTest, SingleColumnGrouping) {
+  Table t = ToyTable();
+  auto grouped = GroupCountByEstablishment(t, {"color"}, "estab").value();
+  EXPECT_EQ(grouped.Find(0)->count, 4);  // red
+  EXPECT_EQ(grouped.Find(1)->count, 2);  // green
+}
+
+TEST(GroupCountTest, PlainCounts) {
+  Table t = ToyTable();
+  auto codec = GroupKeyCodec::Create(t.schema(), {"color"}).value();
+  auto counts = GroupCount(t, codec).value();
+  EXPECT_EQ(counts.at(0), 4);
+  EXPECT_EQ(counts.at(1), 2);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(GroupCountByEstablishmentTest, TotalMatchesRowCount) {
+  Table t = ToyTable();
+  auto grouped =
+      GroupCountByEstablishment(t, {"color", "size"}, "estab").value();
+  int64_t total = 0;
+  for (const auto& cell : grouped.cells) {
+    total += cell.count;
+    int64_t contrib_total = 0;
+    for (const auto& c : cell.contributions) contrib_total += c.count;
+    EXPECT_EQ(contrib_total, cell.count);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(t.num_rows()));
+}
+
+}  // namespace
+}  // namespace eep::table

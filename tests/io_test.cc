@@ -1,0 +1,133 @@
+#include "lodes/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "lodes/generator.h"
+#include "lodes/marginal.h"
+
+namespace eep::lodes {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/eep_io_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+LodesDataset SmallData(uint64_t seed = 31) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.target_jobs = 5000;
+  config.num_places = 12;
+  return SyntheticLodesGenerator(config).Generate().value();
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  LodesDataset original = SmallData();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  for (const char* file :
+       {"places.csv", "workplaces.csv", "workers.csv", "jobs.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + file)) << file;
+  }
+
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_jobs(), original.num_jobs());
+  EXPECT_EQ(loaded.value().num_workers(), original.num_workers());
+  EXPECT_EQ(loaded.value().num_establishments(),
+            original.num_establishments());
+  EXPECT_EQ(loaded.value().places().size(), original.places().size());
+  for (size_t i = 0; i < original.places().size(); ++i) {
+    EXPECT_EQ(loaded.value().places()[i].name, original.places()[i].name);
+    EXPECT_EQ(loaded.value().places()[i].population,
+              original.places()[i].population);
+  }
+}
+
+TEST_F(IoTest, RoundTripPreservesMarginals) {
+  LodesDataset original = SmallData(37);
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded = LoadDataset(dir_).value();
+
+  auto q1 = MarginalQuery::Compute(original,
+                                   MarginalSpec::EstablishmentMarginal())
+                .value();
+  auto q2 = MarginalQuery::Compute(loaded,
+                                   MarginalSpec::EstablishmentMarginal())
+                .value();
+  ASSERT_EQ(q1.cells().size(), q2.cells().size());
+  for (size_t i = 0; i < q1.cells().size(); ++i) {
+    EXPECT_EQ(q1.cells()[i].key, q2.cells()[i].key);
+    EXPECT_EQ(q1.cells()[i].count, q2.cells()[i].count);
+    EXPECT_EQ(q1.cells()[i].x_v, q2.cells()[i].x_v);
+  }
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  EXPECT_EQ(LoadDataset("/nonexistent/nowhere").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(IoTest, LoadRejectsBadDictionaryValue) {
+  LodesDataset original = SmallData();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  // Corrupt one NAICS value.
+  const std::string path = dir_ + "/workplaces.csv";
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const size_t pos = content.find("\n1,");
+  ASSERT_NE(pos, std::string::npos);
+  // Replace the row's naics field with a bogus sector.
+  const size_t comma = content.find(',', pos + 1);
+  const size_t comma2 = content.find(',', comma + 1);
+  content.replace(comma + 1, comma2 - comma - 1, "99");
+  std::ofstream out(path);
+  out << content;
+  out.close();
+  auto loaded = LoadDataset(dir_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, LoadRejectsDanglingJob) {
+  LodesDataset original = SmallData();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  std::ofstream out(dir_ + "/jobs.csv", std::ios::app);
+  out << "999999,1\n";  // unknown worker
+  out.close();
+  EXPECT_FALSE(LoadDataset(dir_).ok());
+}
+
+TEST_F(IoTest, LoadRejectsWrongHeader) {
+  LodesDataset original = SmallData();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  std::ofstream out(dir_ + "/jobs.csv");
+  out << "bad,header\n1,1\n";
+  out.close();
+  auto loaded = LoadDataset(dir_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, LoadRejectsNonIntegerId) {
+  LodesDataset original = SmallData();
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  std::ofstream out(dir_ + "/places.csv");
+  out << "name,population\ntown,not_a_number\n";
+  out.close();
+  EXPECT_FALSE(LoadDataset(dir_).ok());
+}
+
+}  // namespace
+}  // namespace eep::lodes

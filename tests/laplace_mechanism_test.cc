@@ -1,0 +1,61 @@
+#include "mechanisms/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eep::mechanisms {
+namespace {
+
+TEST(EdgeLaplaceTest, CreateValidation) {
+  EXPECT_FALSE(EdgeLaplaceMechanism::Create(0.0).ok());
+  EXPECT_FALSE(EdgeLaplaceMechanism::Create(-1.0).ok());
+  EXPECT_TRUE(EdgeLaplaceMechanism::Create(0.5).ok());
+}
+
+TEST(EdgeLaplaceTest, ScaleIsInverseEpsilon) {
+  auto mech = EdgeLaplaceMechanism::Create(2.0).value();
+  EXPECT_DOUBLE_EQ(mech.scale(), 0.5);
+  EXPECT_EQ(mech.name(), "Edge-Laplace");
+}
+
+TEST(EdgeLaplaceTest, UnbiasedWithExpectedError) {
+  auto mech = EdgeLaplaceMechanism::Create(1.0).value();
+  CellQuery cell{1000, 1000, nullptr};
+  Rng rng(7);
+  RunningStats err;
+  RunningStats val;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = mech.Release(cell, rng).value();
+    val.Add(v);
+    err.Add(std::abs(v - 1000.0));
+  }
+  EXPECT_NEAR(val.mean(), 1000.0, 0.02);
+  EXPECT_NEAR(err.mean(), mech.ExpectedL1Error(cell).value(), 0.02);
+}
+
+// Claim B.1 / Section 6: edge-DP noise does not grow with establishment
+// size, so the relative disclosure of a large employer's size is precise —
+// the reason edge-DP fails the employer-size requirement.
+TEST(EdgeLaplaceTest, NoiseIndependentOfEstablishmentSize) {
+  auto mech = EdgeLaplaceMechanism::Create(1.0).value();
+  CellQuery small{10, 10, nullptr};
+  CellQuery huge{10000, 10000, nullptr};
+  EXPECT_DOUBLE_EQ(mech.ExpectedL1Error(small).value(),
+                   mech.ExpectedL1Error(huge).value());
+  // With eps=1, the count of a 10,000-employee establishment is disclosed
+  // to within ~log(1/p) with probability 1-p (at most 5 for p=0.01).
+  Rng rng(11);
+  int within5 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = mech.Release(huge, rng).value();
+    if (std::abs(v - 10000.0) <= 5.0) ++within5;
+  }
+  EXPECT_GT(static_cast<double>(within5) / n, 0.98);
+}
+
+}  // namespace
+}  // namespace eep::mechanisms

@@ -1,0 +1,106 @@
+// Fuzzing the marginal layer invariants across random synthetic datasets
+// and random marginal specs (parameterized): counts conserve jobs, x_v is
+// bounded by the cell count, the cell domain follows the release policy
+// (full worker cross product per present workplace combo), and slices
+// partition the total.
+#include <gtest/gtest.h>
+
+#include "lodes/generator.h"
+#include "lodes/marginal.h"
+
+namespace eep::lodes {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int64_t jobs;
+  int places;
+  MarginalSpec spec;
+  const char* name;
+};
+
+class MarginalFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(MarginalFuzzTest, Invariants) {
+  const FuzzCase& fuzz = GetParam();
+  GeneratorConfig config;
+  config.seed = fuzz.seed;
+  config.target_jobs = fuzz.jobs;
+  config.num_places = fuzz.places;
+  auto data = SyntheticLodesGenerator(config).Generate().value();
+  auto query = MarginalQuery::Compute(data, fuzz.spec).value();
+
+  // Worker-domain size matches the dictionaries.
+  int64_t expected_domain = 1;
+  for (const auto& col : fuzz.spec.worker_attrs) {
+    expected_domain *= static_cast<int64_t>(
+        data.domains().DictFor(col).value()->size());
+  }
+  EXPECT_EQ(query.WorkerDomainSize(), expected_domain);
+
+  // Cell count divisible by the worker domain (full cross product per
+  // present workplace combo).
+  EXPECT_EQ(query.cells().size() % static_cast<size_t>(expected_domain), 0u);
+
+  int64_t total = 0;
+  for (const auto& cell : query.cells()) {
+    EXPECT_GE(cell.count, 0);
+    EXPECT_LE(cell.x_v, cell.count);
+    if (cell.count == 0) {
+      EXPECT_EQ(cell.num_estabs, 0);
+      EXPECT_EQ(cell.x_v, 0);
+    }
+    if (cell.count > 0) {
+      EXPECT_GE(cell.x_v, 1);
+      EXPECT_GE(cell.num_estabs, 1);
+      // x_v * num_estabs >= count (max contribution times establishments).
+      EXPECT_GE(cell.x_v * cell.num_estabs, cell.count);
+    }
+    total += cell.count;
+  }
+  EXPECT_EQ(total, data.num_jobs());
+
+  // Keys strictly increasing and within the codec domain.
+  for (size_t i = 1; i < query.cells().size(); ++i) {
+    EXPECT_LT(query.cells()[i - 1].key, query.cells()[i].key);
+  }
+  if (!query.cells().empty()) {
+    EXPECT_LT(query.cells().back().key, query.codec().DomainSize());
+  }
+
+  // Worker slices partition the total.
+  if (expected_domain > 1) {
+    int64_t slice_sum = 0;
+    for (int64_t slice = 0; slice < expected_domain; ++slice) {
+      for (const auto& cell : query.cells()) {
+        if (cell.key % static_cast<uint64_t>(expected_domain) ==
+            static_cast<uint64_t>(slice)) {
+          slice_sum += cell.count;
+        }
+      }
+    }
+    EXPECT_EQ(slice_sum, data.num_jobs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MarginalFuzzTest,
+    ::testing::Values(
+        FuzzCase{11, 5000, 12, MarginalSpec::EstablishmentMarginal(),
+                 "estab"},
+        FuzzCase{12, 8000, 16, MarginalSpec::WorkplaceBySexEducation(),
+                 "sexedu"},
+        FuzzCase{13, 5000, 12, {{kColNaics}, {kColRace}}, "naics_race"},
+        FuzzCase{14, 5000, 12, {{kColOwnership}, {kColAge, kColEthnicity}},
+                 "own_age_eth"},
+        FuzzCase{15, 4000, 8, {{}, {kColSex, kColEducation}}, "worker_only"},
+        FuzzCase{16, 4000, 8, {{kColPlace}, {}}, "place_only"},
+        FuzzCase{17, 6000, 20, MarginalSpec::FullDemographics(),
+                 "full_demo"}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return std::string(info.param.name) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace eep::lodes

@@ -1,0 +1,70 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eep {
+namespace {
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 + 1.0, 0.0, 1e-9));
+}
+
+TEST(MathUtilTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  // Robust to large magnitudes where naive exp overflows.
+  EXPECT_NEAR(LogSumExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogSumExp(neg_inf, neg_inf), neg_inf);
+  EXPECT_NEAR(LogSumExp(neg_inf, 3.0), 3.0, 1e-12);
+}
+
+TEST(MathUtilTest, RoundNonNegative) {
+  EXPECT_EQ(RoundNonNegative(2.4), 2);
+  EXPECT_EQ(RoundNonNegative(2.6), 3);
+  EXPECT_EQ(RoundNonNegative(-3.0), 0);
+  EXPECT_EQ(RoundNonNegative(0.0), 0);
+  EXPECT_EQ(RoundNonNegative(std::nan("")), 0);
+}
+
+TEST(MathUtilTest, AlphaUpperBoundMultiplicativeBranch) {
+  // ceil(1.1 * 100) = 110.
+  EXPECT_EQ(AlphaUpperBound(100, 0.1), 110);
+  // ceil(1.1 * 105) = ceil(115.5) = 116.
+  EXPECT_EQ(AlphaUpperBound(105, 0.1), 116);
+}
+
+TEST(MathUtilTest, AlphaUpperBoundPlusOneBranch) {
+  // For small x, alpha*x < 1 so the +1 branch dominates (Def. 7.1).
+  EXPECT_EQ(AlphaUpperBound(3, 0.1), 4);
+  EXPECT_EQ(AlphaUpperBound(0, 0.1), 1);
+  EXPECT_EQ(AlphaUpperBound(5, 0.0), 6);
+}
+
+TEST(MathUtilTest, QuantileSorted) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(QuantileSorted(xs, 0.0), 1.0);
+  EXPECT_EQ(QuantileSorted(xs, 1.0), 5.0);
+  EXPECT_EQ(QuantileSorted(xs, 0.5), 3.0);
+  EXPECT_NEAR(QuantileSorted(xs, 0.25), 2.0, 1e-12);
+  EXPECT_NEAR(QuantileSorted(xs, 0.1), 1.4, 1e-12);
+}
+
+TEST(MathUtilTest, QuantileSortedSingleton) {
+  std::vector<double> xs = {42.0};
+  EXPECT_EQ(QuantileSorted(xs, 0.0), 42.0);
+  EXPECT_EQ(QuantileSorted(xs, 0.5), 42.0);
+  EXPECT_EQ(QuantileSorted(xs, 1.0), 42.0);
+}
+
+}  // namespace
+}  // namespace eep

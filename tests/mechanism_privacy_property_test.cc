@@ -1,0 +1,194 @@
+// Property-based verification that each mechanism satisfies the privacy
+// inequality it claims, over a grid of (alpha, epsilon) parameters and a
+// set of strong alpha-neighbor scenarios:
+//
+//  * Pure mechanisms (Log-Laplace, Smooth Gamma): the pointwise output-
+//    density ratio between neighbors must be bounded by e^epsilon
+//    everywhere (sufficient for Def. 7.2).
+//  * Approximate mechanisms (Smooth Laplace): the "violation mass"
+//    integral of max(0, f1 - e^eps f2) must be at most delta — the exact
+//    characterization of (eps, delta)-indistinguishability for
+//    density-valued outputs (Def. 9.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+#include "mechanisms/log_laplace.h"
+#include "mechanisms/smooth_gamma.h"
+#include "mechanisms/smooth_laplace.h"
+#include "privacy/verification.h"
+
+namespace eep::mechanisms {
+namespace {
+
+struct GridPoint {
+  double alpha;
+  double epsilon;
+};
+
+// One strong alpha-neighbor move applied to a cell: D has (count, x_v); D'
+// has (count2, x_v2).
+struct NeighborScenario {
+  const char* name;
+  int64_t count;
+  int64_t x_v;
+  int64_t count2;
+  int64_t x_v2;
+};
+
+std::vector<NeighborScenario> Scenarios(double alpha) {
+  // Dominant establishment grows by its full alpha-band; a one-worker
+  // change; a non-dominant establishment change that leaves x_v fixed.
+  const int64_t xv = 500;
+  const auto grow = static_cast<int64_t>(std::floor((1.0 + alpha) * xv));
+  return {
+      {"dominant-grows", 1000, xv, 1000 + (grow - xv), grow},
+      {"plus-one-worker", 1000, xv, 1001, xv},
+      {"empty-cell-gains-one", 0, 0, 1, 1},
+      {"nondominant-grows", 1000, xv,
+       1000 + static_cast<int64_t>(std::floor(alpha * 300.0)), xv},
+  };
+}
+
+// Violation mass: integral over outputs of max(0, f1 - e^eps f2), where
+// f_i is Laplace(center_i, scale_i). Must be <= delta for an
+// (eps, delta) guarantee.
+double LaplaceViolationMass(double q1, double s1, double q2, double s2,
+                            double eps) {
+  auto lap1 = LaplaceDistribution::Create(s1).value();
+  auto lap2 = LaplaceDistribution::Create(s2).value();
+  const double lo = std::min(q1, q2) - 80.0 * std::max(s1, s2);
+  const double hi = std::max(q1, q2) + 80.0 * std::max(s1, s2);
+  const int n = 400001;
+  const double step = (hi - lo) / (n - 1);
+  double mass = 0.0;
+  const double boost = std::exp(eps);
+  for (int i = 0; i < n; ++i) {
+    const double o = lo + i * step;
+    const double f1 = lap1.Pdf(o - q1);
+    const double f2 = lap2.Pdf(o - q2);
+    mass += std::max(0.0, f1 - boost * f2) * step;
+  }
+  return mass;
+}
+
+class MechanismPrivacyTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(MechanismPrivacyTest, LogLaplaceDensityRatioBounded) {
+  const auto [alpha, epsilon] = GetParam();
+  auto mech =
+      LogLaplaceMechanism::Create({alpha, epsilon, 0.0}).value();
+  auto lap = LaplaceDistribution::Create(1.0).value();
+  auto pdf = [&lap](double z) { return lap.Pdf(z); };
+  const double gamma = mech.gamma();
+  const double lambda = mech.lambda();
+  for (const auto& sc : Scenarios(alpha)) {
+    // The mechanism is Laplace noise on the log scale; outputs are a
+    // monotone transform, so the log-space ratio equals the output-space
+    // ratio.
+    const double c1 = std::log(static_cast<double>(sc.count) + gamma);
+    const double c2 = std::log(static_cast<double>(sc.count2) + gamma);
+    auto check = privacy::CheckAdditivePair(pdf, c1, lambda, c2, lambda,
+                                            epsilon);
+    EXPECT_TRUE(check.passed)
+        << sc.name << ": log ratio " << check.max_log_ratio << " > "
+        << epsilon;
+  }
+}
+
+TEST_P(MechanismPrivacyTest, SmoothGammaDensityRatioBounded) {
+  const auto [alpha, epsilon] = GetParam();
+  privacy::PrivacyParams params{alpha, epsilon, 0.0};
+  auto created = SmoothGammaMechanism::Create(params);
+  if (!created.ok()) GTEST_SKIP() << "infeasible grid point";
+  auto mech = created.value();
+  GeneralizedCauchy4 noise;
+  auto pdf = [&noise](double z) { return noise.Pdf(z); };
+  for (const auto& sc : Scenarios(alpha)) {
+    const double s1 = mech.NoiseScale({sc.count, sc.x_v, nullptr}).value();
+    const double s2 =
+        mech.NoiseScale({sc.count2, sc.x_v2, nullptr}).value();
+    auto check = privacy::CheckAdditivePair(
+        pdf, static_cast<double>(sc.count), s1,
+        static_cast<double>(sc.count2), s2, epsilon);
+    EXPECT_TRUE(check.passed)
+        << sc.name << ": log ratio " << check.max_log_ratio << " > "
+        << epsilon;
+    // And symmetrically.
+    auto check_rev = privacy::CheckAdditivePair(
+        pdf, static_cast<double>(sc.count2), s2,
+        static_cast<double>(sc.count), s1, epsilon);
+    EXPECT_TRUE(check_rev.passed) << sc.name << " (reversed)";
+  }
+}
+
+TEST_P(MechanismPrivacyTest, SmoothLaplaceViolationMassWithinDelta) {
+  const auto [alpha, epsilon] = GetParam();
+  const double delta = 0.05;
+  privacy::PrivacyParams params{alpha, epsilon, delta};
+  auto created = SmoothLaplaceMechanism::Create(params);
+  if (!created.ok()) GTEST_SKIP() << "infeasible grid point";
+  auto mech = created.value();
+  for (const auto& sc : Scenarios(alpha)) {
+    const double s1 = mech.NoiseScale({sc.count, sc.x_v, nullptr}).value();
+    const double s2 =
+        mech.NoiseScale({sc.count2, sc.x_v2, nullptr}).value();
+    const double mass1 = LaplaceViolationMass(
+        static_cast<double>(sc.count), s1,
+        static_cast<double>(sc.count2), s2, epsilon);
+    const double mass2 = LaplaceViolationMass(
+        static_cast<double>(sc.count2), s2,
+        static_cast<double>(sc.count), s1, epsilon);
+    EXPECT_LE(mass1, delta + 1e-4) << sc.name;
+    EXPECT_LE(mass2, delta + 1e-4) << sc.name << " (reversed)";
+  }
+}
+
+// Monte-Carlo cross-check on one representative point: actual sampled
+// outputs of neighbor databases are (eps, delta)-indistinguishable.
+TEST(MechanismPrivacyMonteCarloTest, SmoothLaplaceSampledPair) {
+  privacy::PrivacyParams params{0.1, 2.0, 0.05};
+  auto mech = SmoothLaplaceMechanism::Create(params).value();
+  Rng rng(83);
+  auto mech1 = [&mech](Rng& r) {
+    return mech.Release({1000, 500, nullptr}, r).value();
+  };
+  auto mech2 = [&mech](Rng& r) {
+    return mech.Release({1050, 550, nullptr}, r).value();
+  };
+  auto result =
+      privacy::CheckMonteCarloPair(mech1, mech2, 2.0, 0.05, 60000, 25, rng);
+  EXPECT_TRUE(result.passed);
+}
+
+TEST(MechanismPrivacyMonteCarloTest, SmoothGammaSampledPair) {
+  privacy::PrivacyParams params{0.1, 2.0, 0.0};
+  auto mech = SmoothGammaMechanism::Create(params).value();
+  Rng rng(89);
+  auto mech1 = [&mech](Rng& r) {
+    return mech.Release({1000, 500, nullptr}, r).value();
+  };
+  auto mech2 = [&mech](Rng& r) {
+    return mech.Release({1050, 550, nullptr}, r).value();
+  };
+  auto result =
+      privacy::CheckMonteCarloPair(mech1, mech2, 2.0, 0.0, 60000, 25, rng);
+  EXPECT_TRUE(result.passed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaEpsilonGrid, MechanismPrivacyTest,
+    ::testing::Values(GridPoint{0.01, 0.5}, GridPoint{0.05, 1.0},
+                      GridPoint{0.1, 1.0}, GridPoint{0.1, 2.0},
+                      GridPoint{0.15, 2.0}, GridPoint{0.2, 4.0}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "alpha%d_eps%d",
+                    static_cast<int>(info.param.alpha * 100),
+                    static_cast<int>(info.param.epsilon * 100));
+      return std::string(buf);
+    });
+
+}  // namespace
+}  // namespace eep::mechanisms

@@ -1,0 +1,134 @@
+#include "privacy/neighbors.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::privacy {
+namespace {
+
+TEST(MicroDatabaseTest, Accessors) {
+  MicroDatabase d{{{0, 0, 1}, {1}}};
+  EXPECT_EQ(d.EstabSize(0), 3);
+  EXPECT_EQ(d.EstabSize(1), 1);
+  EXPECT_EQ(d.TotalSize(), 4);
+  EXPECT_EQ(d.EstabPropertyCount(0, 0b01), 2);  // value 0
+  EXPECT_EQ(d.EstabPropertyCount(0, 0b10), 1);  // value 1
+  EXPECT_EQ(d.PropertyCount(0b10), 2);
+  EXPECT_EQ(d.DomainUpperBound(), 2u);
+}
+
+TEST(NeighborUpperBoundTest, Branches) {
+  EXPECT_EQ(NeighborUpperBound(100, 0.1), 110);  // floor(110.0)
+  EXPECT_EQ(NeighborUpperBound(105, 0.1), 115);  // floor(115.5)
+  EXPECT_EQ(NeighborUpperBound(3, 0.1), 4);      // +1 branch
+  EXPECT_EQ(NeighborUpperBound(0, 0.5), 1);
+}
+
+TEST(StrongNeighborsTest, GrowWithinAlphaBand) {
+  // 20 workers of value 0 -> 22 (alpha = 0.1 allows up to 22).
+  MicroDatabase d1{{std::vector<uint32_t>(20, 0)}};
+  MicroDatabase d2{{std::vector<uint32_t>(22, 0)}};
+  MicroDatabase d3{{std::vector<uint32_t>(23, 0)}};
+  EXPECT_TRUE(AreStrongNeighbors(d1, d2, 0.1));
+  EXPECT_TRUE(AreStrongNeighbors(d2, d1, 0.1));  // symmetric
+  EXPECT_FALSE(AreStrongNeighbors(d1, d3, 0.1));
+}
+
+TEST(StrongNeighborsTest, PlusOneAlwaysAllowed) {
+  MicroDatabase d1{{{0, 0}}};
+  MicroDatabase d2{{{0, 0, 1}}};
+  EXPECT_TRUE(AreStrongNeighbors(d1, d2, 0.01));  // alpha*2 < 1 but +1 ok
+}
+
+TEST(StrongNeighborsTest, RequiresContainment) {
+  // Same sizes, different composition: NOT neighbors (E ⊄ E').
+  MicroDatabase d1{{{0, 0, 0}}};
+  MicroDatabase d2{{{0, 0, 1}}};
+  EXPECT_FALSE(AreStrongNeighbors(d1, d2, 0.5));
+  // Superset of the right size IS a neighbor.
+  MicroDatabase d3{{{0, 0, 0, 1}}};
+  EXPECT_TRUE(AreStrongNeighbors(d1, d3, 0.5));
+}
+
+TEST(StrongNeighborsTest, OnlyOneEstablishmentMayDiffer) {
+  MicroDatabase d1{{{0}, {0}}};
+  MicroDatabase d2{{{0, 0}, {0, 0}}};
+  EXPECT_FALSE(AreStrongNeighbors(d1, d2, 1.0));
+  MicroDatabase d3{{{0, 0}, {0}}};
+  EXPECT_TRUE(AreStrongNeighbors(d1, d3, 1.0));
+}
+
+TEST(StrongNeighborsTest, IdenticalDatabasesAreNotNeighbors) {
+  MicroDatabase d{{{0, 1}}};
+  EXPECT_FALSE(AreStrongNeighbors(d, d, 0.1));
+}
+
+TEST(WeakNeighborsTest, PerPropertyBound) {
+  // Establishment with 10 of value 0 and 10 of value 1 (alpha = 0.1).
+  std::vector<uint32_t> base;
+  for (int i = 0; i < 10; ++i) base.push_back(0);
+  for (int i = 0; i < 10; ++i) base.push_back(1);
+  MicroDatabase d1{{base}};
+
+  // Adding one worker of value 0: phi counts 10->11 (allowed: 11) and
+  // totals 20->21 (allowed: 22). Weak neighbor.
+  auto plus_one = base;
+  plus_one.push_back(0);
+  EXPECT_TRUE(AreWeakNeighbors(d1, MicroDatabase{{plus_one}}, 0.1));
+
+  // Adding two workers of value 0: phi_0 10->12 > floor(11). NOT weak
+  // neighbors, but IS a strong neighbor (total 20->22 allowed).
+  auto plus_two = base;
+  plus_two.push_back(0);
+  plus_two.push_back(0);
+  MicroDatabase d_plus_two{{plus_two}};
+  EXPECT_FALSE(AreWeakNeighbors(d1, d_plus_two, 0.1));
+  EXPECT_TRUE(AreStrongNeighbors(d1, d_plus_two, 0.1));
+}
+
+TEST(WeakNeighborsTest, ZeroCountPropertyCanGainOne) {
+  // phi(E) = 0 allows phi(E') <= 1 (the max(..., phi+1) branch).
+  MicroDatabase d1{{std::vector<uint32_t>(50, 0)}};
+  auto grown = std::vector<uint32_t>(50, 0);
+  grown.push_back(1);  // first worker of value 1
+  EXPECT_TRUE(AreWeakNeighbors(d1, MicroDatabase{{grown}}, 0.1));
+  // Two new workers of a previously absent value: not weak neighbors.
+  grown.push_back(1);
+  EXPECT_FALSE(AreWeakNeighbors(d1, MicroDatabase{{grown}}, 0.1));
+}
+
+TEST(WeakNeighborsTest, WeakImpliesStrongDirectionality) {
+  // Every weak-neighbor pair here is also a strong-neighbor pair (weak
+  // bounds every phi including the total).
+  std::vector<uint32_t> base(30, 0);
+  MicroDatabase d1{{base}};
+  auto grown = base;
+  for (int i = 0; i < 3; ++i) grown.push_back(0);  // 30 -> 33 = floor(33)
+  MicroDatabase d2{{grown}};
+  EXPECT_TRUE(AreWeakNeighbors(d1, d2, 0.1));
+  EXPECT_TRUE(AreStrongNeighbors(d1, d2, 0.1));
+}
+
+TEST(SizeNeighborDistanceTest, ClosedFormSteps) {
+  // alpha = 1 doubles each step: 1 -> 2 -> 4 -> 8.
+  EXPECT_EQ(SizeNeighborDistance(1, 8, 1.0).value(), 3);
+  EXPECT_EQ(SizeNeighborDistance(8, 1, 1.0).value(), 3);  // symmetric
+  EXPECT_EQ(SizeNeighborDistance(5, 5, 1.0).value(), 0);
+  // +1 moves when alpha*x < 1: 0 -> 1 -> 2.
+  EXPECT_EQ(SizeNeighborDistance(0, 2, 0.1).value(), 2);
+}
+
+TEST(SizeNeighborDistanceTest, GroupPrivacySemantics) {
+  // Section 7.2: distinguishing x from (1+alpha)^k x costs k steps.
+  const double alpha = 0.1;
+  int64_t x = 1000;
+  auto x3 = static_cast<int64_t>(1000 * 1.1 * 1.1 * 1.1);
+  EXPECT_EQ(SizeNeighborDistance(x, x3, alpha).value(), 3);
+}
+
+TEST(SizeNeighborDistanceTest, Validation) {
+  EXPECT_FALSE(SizeNeighborDistance(-1, 5, 0.1).ok());
+  EXPECT_FALSE(SizeNeighborDistance(1, 5, -0.1).ok());
+}
+
+}  // namespace
+}  // namespace eep::privacy

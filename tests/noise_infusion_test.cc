@@ -1,0 +1,129 @@
+#include "sdl/noise_infusion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eep::sdl {
+namespace {
+
+NoiseInfusion MakeInfusion(Rng& rng, NoiseInfusionParams params = {}) {
+  std::vector<int64_t> ids;
+  for (int64_t i = 1; i <= 500; ++i) ids.push_back(i);
+  return NoiseInfusion::Create(params, ids, rng).value();
+}
+
+TEST(NoiseInfusionParamsTest, Validation) {
+  NoiseInfusionParams p;
+  EXPECT_TRUE(p.Validate().ok());
+  p.s = 0.3;
+  p.t = 0.2;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {};
+  p.s = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {};
+  p.t = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {};
+  p.small_cell_limit = 0.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(NoiseInfusionTest, FactorsInTheBand) {
+  Rng rng(11);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  int above = 0, below = 0;
+  for (int64_t id = 1; id <= 500; ++id) {
+    const double f = infusion.FactorOf(id).value();
+    const double mag = std::abs(f - 1.0);
+    EXPECT_GE(mag, 0.10 - 1e-12) << "factor not bounded away from 1";
+    EXPECT_LE(mag, 0.25 + 1e-12);
+    (f > 1.0 ? above : below)++;
+  }
+  // Signs roughly balanced.
+  EXPECT_GT(above, 180);
+  EXPECT_GT(below, 180);
+}
+
+TEST(NoiseInfusionTest, UnknownEstablishmentFails) {
+  Rng rng(12);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  EXPECT_EQ(infusion.FactorOf(99999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NoiseInfusionTest, DuplicateEstablishmentRejected) {
+  Rng rng(13);
+  EXPECT_FALSE(NoiseInfusion::Create({}, {1, 1}, rng).ok());
+}
+
+TEST(NoiseInfusionTest, ZeroCellsPassThrough) {
+  Rng rng(14);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  EXPECT_EQ(infusion.ReleaseCell({}, 0, rng).value(), 0.0);
+}
+
+TEST(NoiseInfusionTest, SmallCellsReplacedWithIntegers) {
+  Rng rng(15);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double v =
+        infusion.ReleaseCell({{1, 2}}, 2, rng).value();
+    EXPECT_TRUE(v == 1.0 || v == 2.0) << v;
+  }
+}
+
+TEST(NoiseInfusionTest, LargeCellIsFactorTimesCount) {
+  Rng rng(16);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  const double f = infusion.FactorOf(7).value();
+  const double released =
+      infusion.ReleaseCell({{7, 100}}, 100, rng).value();
+  EXPECT_NEAR(released, 100.0 * f, 1e-9);
+}
+
+TEST(NoiseInfusionTest, MultiEstablishmentCellSumsPerFactor) {
+  Rng rng(17);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  const double f1 = infusion.FactorOf(1).value();
+  const double f2 = infusion.FactorOf(2).value();
+  const double released =
+      infusion.ReleaseCell({{1, 50}, {2, 70}}, 120, rng).value();
+  EXPECT_NEAR(released, 50.0 * f1 + 70.0 * f2, 1e-9);
+}
+
+TEST(NoiseInfusionTest, SameFactorReusedAcrossQueries) {
+  // The production property that enables the Sec. 5.2 attacks.
+  Rng rng(18);
+  NoiseInfusion infusion = MakeInfusion(rng);
+  const double a = infusion.ReleaseCell({{9, 40}}, 40, rng).value();
+  const double b = infusion.ReleaseCell({{9, 80}}, 80, rng).value();
+  EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+TEST(NoiseInfusionTest, UniformFallbackRespectsBand) {
+  Rng rng(19);
+  NoiseInfusionParams params;
+  params.ramp_distribution = false;
+  NoiseInfusion infusion = MakeInfusion(rng, params);
+  for (int64_t id = 1; id <= 500; ++id) {
+    const double mag = std::abs(infusion.FactorOf(id).value() - 1.0);
+    EXPECT_GE(mag, 0.10 - 1e-12);
+    EXPECT_LE(mag, 0.25 + 1e-12);
+  }
+}
+
+TEST(NoiseInfusionTest, RampConcentratesNearInnerEdge) {
+  Rng rng(20);
+  NoiseInfusion ramp = MakeInfusion(rng);
+  double ramp_mean = 0.0;
+  for (int64_t id = 1; id <= 500; ++id) {
+    ramp_mean += std::abs(ramp.FactorOf(id).value() - 1.0);
+  }
+  ramp_mean /= 500;
+  // Ramp mean = s + (t-s)/3 = 0.15 < uniform mean 0.175.
+  EXPECT_NEAR(ramp_mean, 0.15, 0.01);
+}
+
+}  // namespace
+}  // namespace eep::sdl

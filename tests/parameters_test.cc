@@ -1,0 +1,78 @@
+#include "privacy/parameters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eep::privacy {
+namespace {
+
+TEST(PrivacyParamsTest, Validation) {
+  EXPECT_TRUE((PrivacyParams{0.1, 1.0, 0.0}).Validate().ok());
+  EXPECT_TRUE((PrivacyParams{0.0, 1.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{-0.1, 1.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{0.1, 0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{0.1, 1.0, 1.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{0.1, 1.0, -0.01}).Validate().ok());
+}
+
+TEST(SmoothGammaFeasibilityTest, Boundary) {
+  // Requires 1 + alpha < e^{eps/5}: at alpha=0.1, eps must exceed
+  // 5 ln(1.1) = 0.4766.
+  EXPECT_FALSE(CheckSmoothGammaFeasible({0.1, 0.4, 0.0}).ok());
+  EXPECT_FALSE(CheckSmoothGammaFeasible({0.1, 5.0 * std::log(1.1), 0.0}).ok());
+  EXPECT_TRUE(CheckSmoothGammaFeasible({0.1, 0.5, 0.0}).ok());
+  EXPECT_TRUE(CheckSmoothGammaFeasible({0.1, 2.0, 0.0}).ok());
+}
+
+TEST(SmoothLaplaceFeasibilityTest, NeedsPositiveDelta) {
+  EXPECT_FALSE(CheckSmoothLaplaceFeasible({0.1, 2.0, 0.0}).ok());
+  EXPECT_TRUE(CheckSmoothLaplaceFeasible({0.1, 2.0, 0.05}).ok());
+}
+
+TEST(SmoothLaplaceFeasibilityTest, MatchesMinEpsilon) {
+  for (double alpha : {0.01, 0.1, 0.2}) {
+    for (double delta : {0.05, 5e-4}) {
+      const double min_eps = MinEpsilonForSmoothLaplace(alpha, delta).value();
+      EXPECT_TRUE(
+          CheckSmoothLaplaceFeasible({alpha, min_eps * 1.0001, delta}).ok());
+      EXPECT_FALSE(
+          CheckSmoothLaplaceFeasible({alpha, min_eps * 0.9999, delta}).ok());
+    }
+  }
+}
+
+TEST(MinEpsilonTest, ClosedForm) {
+  // eps_min = 2 ln(1/delta) ln(1+alpha).
+  EXPECT_NEAR(MinEpsilonForSmoothLaplace(0.1, 0.05).value(),
+              2.0 * std::log(20.0) * std::log(1.1), 1e-12);
+  // The Table 2 rows that match the closed form (delta = 5e-4).
+  EXPECT_NEAR(MinEpsilonForSmoothLaplace(0.01, 5e-4).value(), 0.15, 0.01);
+  EXPECT_NEAR(MinEpsilonForSmoothLaplace(0.10, 5e-4).value(), 1.45, 0.01);
+}
+
+TEST(MinEpsilonTest, MonotoneInAlphaAndDelta) {
+  const double base = MinEpsilonForSmoothLaplace(0.1, 0.05).value();
+  EXPECT_GT(MinEpsilonForSmoothLaplace(0.2, 0.05).value(), base);
+  EXPECT_GT(MinEpsilonForSmoothLaplace(0.1, 0.01).value(), base);
+}
+
+TEST(MinEpsilonTest, Validation) {
+  EXPECT_FALSE(MinEpsilonForSmoothLaplace(0.0, 0.05).ok());
+  EXPECT_FALSE(MinEpsilonForSmoothLaplace(0.1, 0.0).ok());
+  EXPECT_FALSE(MinEpsilonForSmoothLaplace(0.1, 1.0).ok());
+}
+
+TEST(LogLaplaceLambdaTest, Formula) {
+  EXPECT_NEAR(LogLaplaceLambda({0.1, 2.0, 0.0}).value(),
+              std::log(1.1), 1e-12);
+  EXPECT_FALSE(LogLaplaceLambda({0.0, 2.0, 0.0}).ok());
+}
+
+TEST(AdversaryModelTest, Names) {
+  EXPECT_STREQ(AdversaryModelName(AdversaryModel::kInformed), "informed");
+  EXPECT_STREQ(AdversaryModelName(AdversaryModel::kWeak), "weak");
+}
+
+}  // namespace
+}  // namespace eep::privacy

@@ -1,0 +1,159 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+
+namespace eep {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, LaplaceMomentsMatchTheory) {
+  Rng rng(29);
+  RunningStats stats;
+  RunningStats abs_stats;
+  const double scale = 2.5;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.Laplace(scale);
+    stats.Add(x);
+    abs_stats.Add(std::abs(x));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  // E|X| = scale, Var = 2 scale^2.
+  EXPECT_NEAR(abs_stats.mean(), scale, 0.05);
+  EXPECT_NEAR(stats.variance(), 2.0 * scale * scale, 0.3);
+}
+
+TEST(RngTest, ParetoTailIndex) {
+  Rng rng(31);
+  // For Pareto(xm, alpha), P(X > 2 xm) = 2^-alpha.
+  const double xm = 10.0, alpha = 1.5;
+  int exceed = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Pareto(xm, alpha);
+    EXPECT_GE(x, xm);
+    if (x > 2.0 * xm) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / n, std::pow(2.0, -alpha), 0.01);
+}
+
+TEST(RngTest, TwoSidedGeometricSymmetricAndSpread) {
+  Rng rng(37);
+  const double p = 0.5;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(rng.TwoSidedGeometric(p)));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  // Var of difference of two Geometrics with success 1-p: 2p/(1-p)^2 = 4.
+  EXPECT_NEAR(stats.variance(), 4.0, 0.2);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverChosen) {
+  Rng rng(43);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.Categorical(weights), 1u);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(47);
+  auto perm = rng.Permutation(100);
+  std::set<uint32_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(53);
+  Rng child1 = parent.Fork(0);
+  Rng child2 = parent.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(59), b(59);
+  Rng ca = a.Fork(3), cb = b.Fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+}
+
+}  // namespace
+}  // namespace eep

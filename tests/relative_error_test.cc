@@ -1,0 +1,107 @@
+// Tests for ExperimentRunner::CompareRelativeError — the machinery behind
+// the paper's Finding-1 percentages.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/workloads.h"
+#include "lodes/generator.h"
+
+namespace eep::eval {
+namespace {
+
+class RelativeErrorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lodes::GeneratorConfig config;
+    config.seed = 77;
+    config.target_jobs = 30000;
+    config.num_places = 40;
+    data_ = new lodes::LodesDataset(
+        lodes::SyntheticLodesGenerator(config).Generate().value());
+    query_ = new lodes::MarginalQuery(
+        lodes::MarginalQuery::Compute(
+            *data_, lodes::MarginalSpec::EstablishmentMarginal())
+            .value());
+  }
+  static void TearDownTestSuite() {
+    delete query_;
+    delete data_;
+  }
+  static ExperimentConfig Config() {
+    ExperimentConfig config;
+    config.trials = 5;
+    config.seed = 88;
+    return config;
+  }
+  static lodes::LodesDataset* data_;
+  static lodes::MarginalQuery* query_;
+};
+
+lodes::LodesDataset* RelativeErrorTest::data_ = nullptr;
+lodes::MarginalQuery* RelativeErrorTest::query_ = nullptr;
+
+TEST_F(RelativeErrorTest, FractionInUnitInterval) {
+  ExperimentRunner runner(data_, Config());
+  auto mech = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 2.0, 0.05)
+                  .value();
+  auto cmp = runner.CompareRelativeError(*query_, *mech).value();
+  EXPECT_GE(cmp.fraction_within, 0.0);
+  EXPECT_LE(cmp.fraction_within, 1.0);
+  EXPECT_GT(cmp.cells_considered, 100);
+  EXPECT_GT(cmp.mean_baseline_rel, 0.0);
+  EXPECT_GT(cmp.mean_mechanism_rel, 0.0);
+}
+
+TEST_F(RelativeErrorTest, MoreBudgetMoreCellsWithin) {
+  ExperimentRunner runner(data_, Config());
+  auto tight = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 1.0, 0.05)
+                   .value();
+  auto loose = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 4.0, 0.05)
+                   .value();
+  const double f_tight =
+      runner.CompareRelativeError(*query_, *tight).value().fraction_within;
+  const double f_loose =
+      runner.CompareRelativeError(*query_, *loose).value().fraction_within;
+  EXPECT_GT(f_loose, f_tight);
+}
+
+TEST_F(RelativeErrorTest, Finding1OrderingHolds) {
+  // Paper (at alpha=0.1, eps=2): Smooth Laplace (75%) > Log-Laplace (65%)
+  // > Smooth Gamma (29%). Check the ordering.
+  ExperimentRunner runner(data_, Config());
+  auto sl = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 2.0, 0.05)
+                .value();
+  auto ll =
+      MakeMechanism(MechanismKind::kLogLaplace, 0.1, 2.0, 0.0).value();
+  auto sg =
+      MakeMechanism(MechanismKind::kSmoothGamma, 0.1, 2.0, 0.0).value();
+  const double f_sl =
+      runner.CompareRelativeError(*query_, *sl).value().fraction_within;
+  const double f_ll =
+      runner.CompareRelativeError(*query_, *ll).value().fraction_within;
+  const double f_sg =
+      runner.CompareRelativeError(*query_, *sg).value().fraction_within;
+  EXPECT_GT(f_sl, f_ll);
+  EXPECT_GT(f_ll, f_sg);
+}
+
+TEST_F(RelativeErrorTest, WideThresholdAdmitsEverything) {
+  ExperimentRunner runner(data_, Config());
+  auto mech = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 4.0, 0.05)
+                  .value();
+  auto cmp =
+      runner.CompareRelativeError(*query_, *mech, /*threshold=*/1e9)
+          .value();
+  EXPECT_DOUBLE_EQ(cmp.fraction_within, 1.0);
+}
+
+TEST_F(RelativeErrorTest, EmptyFilterFails) {
+  ExperimentRunner runner(data_, Config());
+  auto mech = MakeMechanism(MechanismKind::kSmoothLaplace, 0.1, 2.0, 0.05)
+                  .value();
+  CellFilter none = [](const lodes::MarginalCell&) { return false; };
+  EXPECT_FALSE(runner.CompareRelativeError(*query_, *mech, 0.1, none).ok());
+}
+
+}  // namespace
+}  // namespace eep::eval

@@ -1,0 +1,158 @@
+#include "release/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "lodes/generator.h"
+
+namespace eep::release {
+namespace {
+
+class ReleasePipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lodes::GeneratorConfig config;
+    config.seed = 12;
+    config.target_jobs = 10000;
+    config.num_places = 16;
+    data_ = new lodes::LodesDataset(
+        lodes::SyntheticLodesGenerator(config).Generate().value());
+  }
+  static void TearDownTestSuite() { delete data_; }
+  static lodes::LodesDataset* data_;
+};
+
+lodes::LodesDataset* ReleasePipelineTest::data_ = nullptr;
+
+ReleaseConfig EstabConfig() {
+  ReleaseConfig config;
+  config.spec = lodes::MarginalSpec::EstablishmentMarginal();
+  config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  config.alpha = 0.1;
+  config.epsilon = 2.0;
+  config.delta = 0.05;
+  return config;
+}
+
+TEST_F(ReleasePipelineTest, ReleasesLabeledTable) {
+  Rng rng(1);
+  auto table = RunRelease(*data_, EstabConfig(), nullptr, rng).value();
+  ASSERT_EQ(table.header.size(), 4u);  // place, naics, ownership, count
+  EXPECT_EQ(table.header.back(), "count");
+  EXPECT_GT(table.rows.size(), 100u);
+  for (const auto& row : table.rows) {
+    ASSERT_EQ(row.size(), 4u);
+    // Rounded counts are non-negative integers.
+    EXPECT_GE(std::stoll(row.back()), 0);
+  }
+}
+
+TEST_F(ReleasePipelineTest, ChargesAccountantOnce) {
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.1, 4.0, 0.1, privacy::AdversaryModel::kInformed)
+                  .value();
+  Rng rng(2);
+  ASSERT_TRUE(RunRelease(*data_, EstabConfig(), &acct, rng).ok());
+  EXPECT_DOUBLE_EQ(acct.spent_epsilon(), 2.0);
+  EXPECT_EQ(acct.ledger().size(), 1u);
+}
+
+TEST_F(ReleasePipelineTest, WeakModelChargesSurcharge) {
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.1, 20.0, 0.5, privacy::AdversaryModel::kWeak)
+                  .value();
+  ReleaseConfig config = EstabConfig();
+  config.spec = lodes::MarginalSpec::WorkplaceBySexEducation();
+  Rng rng(3);
+  ASSERT_TRUE(RunRelease(*data_, config, &acct, rng).ok());
+  // d = 8 worker cells -> 8 x 2.0.
+  EXPECT_DOUBLE_EQ(acct.spent_epsilon(), 16.0);
+}
+
+TEST_F(ReleasePipelineTest, RefusesWhenBudgetExhausted) {
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.1, 3.0, 0.1, privacy::AdversaryModel::kInformed)
+                  .value();
+  Rng rng(4);
+  ASSERT_TRUE(RunRelease(*data_, EstabConfig(), &acct, rng).ok());
+  auto second = RunRelease(*data_, EstabConfig(), &acct, rng);
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ReleasePipelineTest, RejectsAlphaMismatch) {
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.2, 4.0, 0.1, privacy::AdversaryModel::kInformed)
+                  .value();
+  Rng rng(5);
+  EXPECT_FALSE(RunRelease(*data_, EstabConfig(), &acct, rng).ok());
+}
+
+TEST_F(ReleasePipelineTest, UnroundedReleaseKeepsFractions) {
+  ReleaseConfig config = EstabConfig();
+  config.round_counts = false;
+  Rng rng(6);
+  auto table = RunRelease(*data_, config, nullptr, rng).value();
+  bool any_fraction = false;
+  for (const auto& row : table.rows) {
+    if (row.back().find('.') != std::string::npos) any_fraction = true;
+  }
+  EXPECT_TRUE(any_fraction);
+}
+
+TEST_F(ReleasePipelineTest, WritesCsv) {
+  Rng rng(7);
+  auto table = RunRelease(*data_, EstabConfig(), nullptr, rng).value();
+  const std::string path = testing::TempDir() + "/eep_release_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  auto doc = ReadCsvFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().rows.size(), table.rows.size());
+  EXPECT_EQ(doc.value().header.back(), "count");
+  std::remove(path.c_str());
+}
+
+TEST_F(ReleasePipelineTest, FullDemographicsSurchargeIsHuge) {
+  // d = 768 worker cells: a single weak-model release at the SMALLEST
+  // feasible per-cell budget (eps=0.15 > the Table-2 minimum for
+  // alpha=0.01, delta=0.001) still costs 115.2 epsilon — releasing full
+  // demographic detail burns budgets three orders of magnitude faster.
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.01, 200.0, 0.9, privacy::AdversaryModel::kWeak)
+                  .value();
+  ReleaseConfig config;
+  config.spec = lodes::MarginalSpec::FullDemographics();
+  config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  config.alpha = 0.01;
+  config.epsilon = 0.15;
+  config.delta = 0.001;
+  Rng rng(9);
+  auto released = RunRelease(*data_, config, &acct, rng);
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  EXPECT_DOUBLE_EQ(acct.spent_epsilon(), 0.15 * 768);
+  EXPECT_DOUBLE_EQ(acct.spent_delta(), 0.001 * 768);
+}
+
+TEST_F(ReleasePipelineTest, InfeasibleMechanismDoesNotChargeBudget) {
+  auto acct = privacy::PrivacyAccountant::Create(
+                  0.2, 4.0, 0.1, privacy::AdversaryModel::kInformed)
+                  .value();
+  ReleaseConfig config = EstabConfig();
+  config.alpha = 0.2;
+  config.epsilon = 0.5;  // below the Table-2 minimum for alpha=0.2
+  Rng rng(10);
+  EXPECT_FALSE(RunRelease(*data_, config, &acct, rng).ok());
+  EXPECT_DOUBLE_EQ(acct.spent_epsilon(), 0.0);
+  EXPECT_TRUE(acct.ledger().empty());
+}
+
+TEST_F(ReleasePipelineTest, InvalidSpecRejected) {
+  ReleaseConfig config = EstabConfig();
+  config.spec = {};
+  Rng rng(8);
+  EXPECT_FALSE(RunRelease(*data_, config, nullptr, rng).ok());
+}
+
+}  // namespace
+}  // namespace eep::release

@@ -1,0 +1,81 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace eep::eval {
+namespace {
+
+std::vector<FigurePoint> SamplePoints() {
+  FigurePoint feasible;
+  feasible.kind = MechanismKind::kSmoothLaplace;
+  feasible.epsilon = 2.0;
+  feasible.alpha = 0.1;
+  feasible.feasible = true;
+  feasible.overall = 0.57;
+  feasible.by_stratum = {1.02, 0.84, 0.75, 0.56};
+
+  FigurePoint infeasible;
+  infeasible.kind = MechanismKind::kSmoothGamma;
+  infeasible.epsilon = 0.25;
+  infeasible.alpha = 0.2;
+  infeasible.feasible = false;
+  infeasible.infeasible_reason = "1+alpha >= e^(eps/5)";
+  return {feasible, infeasible};
+}
+
+TEST(ReportTest, FigurePointsRoundTrip) {
+  const std::string path = testing::TempDir() + "/eep_report_test.csv";
+  const auto points = SamplePoints();
+  ASSERT_TRUE(WriteFigurePointsCsv(points, path).ok());
+
+  auto loaded = ReadFigurePointsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+
+  const auto& p0 = loaded.value()[0];
+  EXPECT_EQ(p0.kind, MechanismKind::kSmoothLaplace);
+  EXPECT_DOUBLE_EQ(p0.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(p0.alpha, 0.1);
+  EXPECT_TRUE(p0.feasible);
+  EXPECT_DOUBLE_EQ(p0.overall, 0.57);
+  EXPECT_DOUBLE_EQ(p0.by_stratum[3], 0.56);
+
+  const auto& p1 = loaded.value()[1];
+  EXPECT_EQ(p1.kind, MechanismKind::kSmoothGamma);
+  EXPECT_FALSE(p1.feasible);
+  EXPECT_EQ(p1.infeasible_reason, "1+alpha >= e^(eps/5)");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, TruncatedPointsWritten) {
+  const std::string path = testing::TempDir() + "/eep_trunc_test.csv";
+  std::vector<Workloads::TruncatedPoint> points(2);
+  points[0] = {100, 4.0, 12.5, 0.6, 84, 8438};
+  points[1] = {500, 1.0, 44.7, 0.06, 22, 69070};
+  ASSERT_TRUE(WriteTruncatedPointsCsv(points, path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  // Header + 2 rows.
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, ReadRejectsMalformed) {
+  const std::string path = testing::TempDir() + "/eep_report_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "only,three,columns\na,b,c\n";
+  }
+  EXPECT_FALSE(ReadFigurePointsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eep::eval

@@ -1,0 +1,56 @@
+// Table 1 of the paper, checked entry by entry.
+#include "privacy/requirements.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::privacy {
+namespace {
+
+TEST(RequirementsTest, Table1MatchesPaper) {
+  using M = ProtectionMethod;
+  using R = Requirement;
+  using S = Satisfaction;
+
+  // Input Noise Infusion: No / No / No.
+  for (R req : AllRequirements()) {
+    EXPECT_EQ(Satisfies(M::kInputNoiseInfusion, req), S::kNo);
+  }
+  // DP on individuals (edge): Yes / No / No.
+  EXPECT_EQ(Satisfies(M::kDifferentialPrivacyEdges, R::kIndividuals),
+            S::kYes);
+  EXPECT_EQ(Satisfies(M::kDifferentialPrivacyEdges, R::kEmployerSize),
+            S::kNo);
+  EXPECT_EQ(Satisfies(M::kDifferentialPrivacyEdges, R::kEmployerShape),
+            S::kNo);
+  // DP on establishments (node): Yes / Yes / Yes.
+  for (R req : AllRequirements()) {
+    EXPECT_EQ(Satisfies(M::kDifferentialPrivacyNodes, req), S::kYes);
+  }
+  // ER-EE privacy: Yes / Yes / Yes.
+  for (R req : AllRequirements()) {
+    EXPECT_EQ(Satisfies(M::kErEePrivacy, req), S::kYes);
+  }
+  // Weak ER-EE privacy: Yes / Yes* / Yes.
+  EXPECT_EQ(Satisfies(M::kWeakErEePrivacy, R::kIndividuals), S::kYes);
+  EXPECT_EQ(Satisfies(M::kWeakErEePrivacy, R::kEmployerSize),
+            S::kYesForWeakAdversaries);
+  EXPECT_EQ(Satisfies(M::kWeakErEePrivacy, R::kEmployerShape), S::kYes);
+}
+
+TEST(RequirementsTest, EnumerationsCoverTable) {
+  EXPECT_EQ(AllProtectionMethods().size(), 5u);
+  EXPECT_EQ(AllRequirements().size(), 3u);
+}
+
+TEST(RequirementsTest, NamesAreDistinct) {
+  EXPECT_STRNE(RequirementName(Requirement::kIndividuals),
+               RequirementName(Requirement::kEmployerSize));
+  EXPECT_STRNE(SatisfactionName(Satisfaction::kYes),
+               SatisfactionName(Satisfaction::kYesForWeakAdversaries));
+  for (auto m : AllProtectionMethods()) {
+    EXPECT_STRNE(ProtectionMethodName(m), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace eep::privacy

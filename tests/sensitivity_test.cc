@@ -1,0 +1,69 @@
+#include "privacy/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eep::privacy {
+namespace {
+
+TEST(LocalSensitivityTest, MaxOfOneAndAlphaXv) {
+  EXPECT_EQ(LocalSensitivity(100, 0.1), 10.0);
+  EXPECT_EQ(LocalSensitivity(5, 0.1), 1.0);   // alpha*5 = 0.5 < 1
+  EXPECT_EQ(LocalSensitivity(0, 0.1), 1.0);   // empty cell still +-1 worker
+  EXPECT_EQ(LocalSensitivity(10, 0.0), 1.0);  // alpha = 0: edge-DP regime
+}
+
+TEST(SmoothSensitivityTest, BoundedIffExpBGeqOnePlusAlpha) {
+  // Lemma 8.5: bounded exactly when e^b >= 1 + alpha.
+  const double alpha = 0.1;
+  const double b_ok = std::log(1.0 + alpha);
+  EXPECT_TRUE(SmoothSensitivity(100, alpha, b_ok).ok());
+  EXPECT_TRUE(SmoothSensitivity(100, alpha, b_ok + 0.1).ok());
+  EXPECT_FALSE(SmoothSensitivity(100, alpha, b_ok * 0.99).ok());
+}
+
+TEST(SmoothSensitivityTest, ValueIsMaxAlphaXvOne) {
+  EXPECT_EQ(SmoothSensitivity(100, 0.1, 1.0).value(), 10.0);
+  EXPECT_EQ(SmoothSensitivity(3, 0.1, 1.0).value(), 1.0);
+  EXPECT_EQ(SmoothSensitivity(0, 0.1, 1.0).value(), 1.0);
+}
+
+TEST(SmoothSensitivityTest, Validation) {
+  EXPECT_FALSE(SmoothSensitivity(-1, 0.1, 1.0).ok());
+  EXPECT_FALSE(SmoothSensitivity(10, -0.1, 1.0).ok());
+  EXPECT_FALSE(SmoothSensitivity(10, 0.1, 0.0).ok());
+}
+
+TEST(LocalSensitivityAtDistanceTest, GrowsGeometrically) {
+  const double alpha = 0.1;
+  EXPECT_NEAR(LocalSensitivityAtDistance(100, alpha, 0), 10.0, 1e-12);
+  EXPECT_NEAR(LocalSensitivityAtDistance(100, alpha, 1), 11.0, 1e-9);
+  EXPECT_NEAR(LocalSensitivityAtDistance(100, alpha, 3),
+              10.0 * std::pow(1.1, 3), 1e-9);
+}
+
+TEST(SmoothSensitivityBruteForceTest, MatchesClosedFormWhenBounded) {
+  // When e^b >= 1+alpha the max over j is attained at j = 0, so the brute
+  // force equals the closed form (Lemma 8.5's proof).
+  const double alpha = 0.15;
+  const double b = std::log(1.0 + alpha) + 0.01;
+  for (int64_t xv : {0, 1, 7, 50, 4000}) {
+    const double closed = SmoothSensitivity(xv, alpha, b).value();
+    const double brute = SmoothSensitivityBruteForce(xv, alpha, b, 200);
+    EXPECT_NEAR(brute, closed, 1e-9) << "xv=" << xv;
+  }
+}
+
+TEST(SmoothSensitivityBruteForceTest, DivergesWhenBTooSmall) {
+  // When e^b < 1+alpha each extra step grows the bound; the brute force
+  // keeps increasing with max_j, demonstrating unboundedness.
+  const double alpha = 0.2;
+  const double b = 0.5 * std::log(1.0 + alpha);
+  const double at_100 = SmoothSensitivityBruteForce(100, alpha, b, 100);
+  const double at_200 = SmoothSensitivityBruteForce(100, alpha, b, 200);
+  EXPECT_GT(at_200, at_100 * 10.0);
+}
+
+}  // namespace
+}  // namespace eep::privacy

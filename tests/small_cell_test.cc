@@ -1,0 +1,82 @@
+#include "sdl/small_cell.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::sdl {
+namespace {
+
+TEST(SmallCellSamplerTest, CreateValidation) {
+  EXPECT_FALSE(SmallCellSampler::Create(1.0).ok());
+  EXPECT_FALSE(SmallCellSampler::Create(0.5).ok());
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  EXPECT_EQ(sampler.limit(), 2.5);
+  EXPECT_EQ(sampler.max_value(), 2);
+}
+
+TEST(SmallCellSamplerTest, NeedsReplacementBoundaries) {
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  EXPECT_FALSE(sampler.NeedsReplacement(0));   // zeros pass through
+  EXPECT_TRUE(sampler.NeedsReplacement(1));
+  EXPECT_TRUE(sampler.NeedsReplacement(2));
+  EXPECT_FALSE(sampler.NeedsReplacement(3));   // above limit
+  EXPECT_FALSE(sampler.NeedsReplacement(100));
+}
+
+TEST(SmallCellSamplerTest, ProbabilitiesSumToOne) {
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  for (int64_t count : {1, 2}) {
+    double total = 0.0;
+    for (int64_t k = 1; k <= sampler.max_value(); ++k) {
+      total += sampler.ReplacementProbability(count, k).value();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(SmallCellSamplerTest, PosteriorTracksTrueCount) {
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  // A true count of 2 should make "2" more likely than a true count of 1
+  // does.
+  const double p2_given_2 = sampler.ReplacementProbability(2, 2).value();
+  const double p2_given_1 = sampler.ReplacementProbability(1, 2).value();
+  EXPECT_GT(p2_given_2, p2_given_1);
+}
+
+TEST(SmallCellSamplerTest, SampleMatchesProbabilities) {
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  Rng rng(5);
+  const int n = 200000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t draw = sampler.Sample(1, rng).value();
+    ASSERT_GE(draw, 1);
+    ASSERT_LE(draw, 2);
+    ones += draw == 1;
+  }
+  const double expected = sampler.ReplacementProbability(1, 1).value();
+  EXPECT_NEAR(static_cast<double>(ones) / n, expected, 0.005);
+}
+
+TEST(SmallCellSamplerTest, ErrorsOnInvalidRequests) {
+  auto sampler = SmallCellSampler::Create(2.5).value();
+  Rng rng(6);
+  EXPECT_FALSE(sampler.Sample(0, rng).ok());
+  EXPECT_FALSE(sampler.Sample(5, rng).ok());
+  EXPECT_FALSE(sampler.ReplacementProbability(1, 0).ok());
+  EXPECT_FALSE(sampler.ReplacementProbability(1, 3).ok());
+  EXPECT_FALSE(sampler.ReplacementProbability(10, 1).ok());
+}
+
+TEST(SmallCellSamplerTest, LargerLimitWidensSupport) {
+  auto sampler = SmallCellSampler::Create(5.0).value();
+  EXPECT_EQ(sampler.max_value(), 5);
+  EXPECT_TRUE(sampler.NeedsReplacement(4));
+  double total = 0.0;
+  for (int64_t k = 1; k <= 5; ++k) {
+    total += sampler.ReplacementProbability(3, k).value();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eep::sdl

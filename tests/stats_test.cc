@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eep {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, DegenerateCases) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, MeanOfVector) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, L1DistanceAndMae) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 2.0, 1.0};
+  EXPECT_NEAR(L1Distance(a, b).value(), 3.0, 1e-12);
+  EXPECT_NEAR(MeanAbsoluteError(a, b).value(), 1.0, 1e-12);
+  EXPECT_FALSE(L1Distance(a, {1.0}).ok());
+  EXPECT_FALSE(MeanAbsoluteError({}, {}).ok());
+}
+
+TEST(StatsTest, FractionalRanksWithTies) {
+  const auto ranks = FractionalRanks({10.0, 20.0, 20.0, 5.0});
+  EXPECT_EQ(ranks[3], 1.0);   // 5 is smallest
+  EXPECT_EQ(ranks[0], 2.0);   // 10
+  EXPECT_EQ(ranks[1], 3.5);   // tied 20s share (3+4)/2
+  EXPECT_EQ(ranks[2], 3.5);
+}
+
+TEST(StatsTest, SpearmanPerfectMonotone) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {10.0, 100.0, 1000.0, 10000.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+  std::vector<double> rev = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, rev).value(), -1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanInvariantToMonotoneTransform) {
+  std::vector<double> a = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6};
+  std::vector<double> b;
+  for (double x : a) b.push_back(std::exp(x));  // strictly monotone
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(StatsTest, SpearmanHandlesTies) {
+  // Known value: a has a tie; compare against scipy.stats.spearmanr
+  // ({1,2,2,3}, {1,2,3,4}) = 0.9486832980505138.
+  std::vector<double> a = {1.0, 2.0, 2.0, 3.0};
+  std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, b).value(), 0.9486832980505138, 1e-12);
+}
+
+TEST(StatsTest, SpearmanErrors) {
+  EXPECT_FALSE(SpearmanCorrelation({1.0}, {1.0}).ok());
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 2.0}, {1.0}).ok());
+  // Constant input has zero rank variance.
+  EXPECT_FALSE(SpearmanCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(StatsTest, PearsonKnownValue) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b).value(), 1.0, 1e-12);
+  std::vector<double> c = {6.0, 4.0, 5.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c).value(), -0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace eep

@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace eep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::IOError("g"), StatusCode::kIOError, "IOError"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status FailingHelper() { return Status::Internal("boom"); }
+
+Status UsesReturnNotOk() {
+  EEP_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kInternal);
+}
+
+Result<int> GivesSeven() { return 7; }
+Result<int> GivesError() { return Status::OutOfRange("nope"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  EEP_ASSIGN_OR_RETURN(int a, fail ? GivesError() : GivesSeven());
+  return a + 1;
+}
+
+TEST(MacrosTest, AssignOrReturnAssignsAndPropagates) {
+  ASSERT_TRUE(UsesAssignOrReturn(false).ok());
+  EXPECT_EQ(UsesAssignOrReturn(false).value(), 8);
+  EXPECT_EQ(UsesAssignOrReturn(true).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace eep

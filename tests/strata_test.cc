@@ -1,0 +1,41 @@
+#include "eval/strata.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::eval {
+namespace {
+
+TEST(StrataTest, BoundariesMatchPaperPanels) {
+  EXPECT_EQ(StratumOf(0), 0);
+  EXPECT_EQ(StratumOf(99), 0);
+  EXPECT_EQ(StratumOf(100), 1);
+  EXPECT_EQ(StratumOf(9999), 1);
+  EXPECT_EQ(StratumOf(10000), 2);
+  EXPECT_EQ(StratumOf(99999), 2);
+  EXPECT_EQ(StratumOf(100000), 3);
+  EXPECT_EQ(StratumOf(5000000), 3);
+}
+
+TEST(StrataTest, NamesDistinctAndBounded) {
+  for (int s = 0; s < kNumStrata; ++s) {
+    EXPECT_FALSE(StratumName(s).empty());
+  }
+  EXPECT_EQ(StratumName(-1), "unknown");
+  EXPECT_EQ(StratumName(kNumStrata), "unknown");
+  EXPECT_NE(StratumName(0), StratumName(3));
+}
+
+TEST(StratumTotalsTest, Accumulates) {
+  StratumTotals totals;
+  totals.Add(0, 1.5);
+  totals.Add(0, 2.5);
+  totals.Add(3, 10.0);
+  EXPECT_DOUBLE_EQ(totals.values[0], 4.0);
+  EXPECT_EQ(totals.counts[0], 2);
+  EXPECT_DOUBLE_EQ(totals.values[3], 10.0);
+  EXPECT_DOUBLE_EQ(totals.overall, 14.0);
+  EXPECT_EQ(totals.overall_count, 3);
+}
+
+}  // namespace
+}  // namespace eep::eval

@@ -1,0 +1,112 @@
+#include "sdl/suppression.h"
+
+#include <gtest/gtest.h>
+
+#include "lodes/generator.h"
+
+namespace eep::sdl {
+namespace {
+
+TEST(SuppressionParamsTest, Validation) {
+  SuppressionParams p;
+  EXPECT_TRUE(p.Validate().ok());
+  p.min_establishments = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {};
+  p.dominance_share = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = {};
+  p.dominance_share = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+class SuppressionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lodes::GeneratorConfig config;
+    config.seed = 55;
+    config.target_jobs = 30000;
+    config.num_places = 40;
+    data_ = new lodes::LodesDataset(
+        lodes::SyntheticLodesGenerator(config).Generate().value());
+    query_ = new lodes::MarginalQuery(
+        lodes::MarginalQuery::Compute(
+            *data_, lodes::MarginalSpec::EstablishmentMarginal())
+            .value());
+  }
+  static void TearDownTestSuite() {
+    delete query_;
+    delete data_;
+  }
+  static lodes::LodesDataset* data_;
+  static lodes::MarginalQuery* query_;
+};
+
+lodes::LodesDataset* SuppressionTest::data_ = nullptr;
+lodes::MarginalQuery* SuppressionTest::query_ = nullptr;
+
+TEST_F(SuppressionTest, RulesAppliedPerCell) {
+  SuppressionParams params;
+  auto result = SuppressMarginal(*query_, params).value();
+  ASSERT_EQ(result.cells.size(), query_->cells().size());
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& cell = query_->cells()[i];
+    const bool should_suppress =
+        cell.count > 0 &&
+        (cell.num_estabs < params.min_establishments ||
+         static_cast<double>(cell.x_v) >
+             params.dominance_share * static_cast<double>(cell.count));
+    EXPECT_EQ(result.cells[i].suppressed(), should_suppress) << i;
+    if (!result.cells[i].suppressed()) {
+      EXPECT_EQ(*result.cells[i].value, cell.count);
+    }
+  }
+}
+
+TEST_F(SuppressionTest, ZeroCellsPublished) {
+  // On a worker marginal there are zero cells; all must be published as 0.
+  auto query = lodes::MarginalQuery::Compute(
+                   *data_, lodes::MarginalSpec::WorkplaceBySexEducation())
+                   .value();
+  auto result = SuppressMarginal(query, {}).value();
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    if (query.cells()[i].count == 0) {
+      ASSERT_FALSE(result.cells[i].suppressed());
+      EXPECT_EQ(*result.cells[i].value, 0);
+    }
+  }
+}
+
+TEST_F(SuppressionTest, SharesConsistent) {
+  auto result = SuppressMarginal(*query_, {}).value();
+  EXPECT_EQ(result.total_cells,
+            static_cast<int64_t>(query_->cells().size()));
+  EXPECT_EQ(result.total_employment, data_->num_jobs());
+  EXPECT_GT(result.suppressed_cells, 0);
+  EXPECT_GT(result.SuppressedCellShare(), 0.0);
+  EXPECT_LT(result.SuppressedCellShare(), 1.0);
+  EXPECT_GE(result.SuppressedEmploymentShare(), 0.0);
+}
+
+TEST_F(SuppressionTest, StricterRulesSuppressMore) {
+  SuppressionParams lax;
+  lax.min_establishments = 2;
+  lax.dominance_share = 0.95;
+  SuppressionParams strict;
+  strict.min_establishments = 5;
+  strict.dominance_share = 0.5;
+  const auto lax_result = SuppressMarginal(*query_, lax).value();
+  const auto strict_result = SuppressMarginal(*query_, strict).value();
+  EXPECT_GT(strict_result.suppressed_cells, lax_result.suppressed_cells);
+}
+
+TEST_F(SuppressionTest, SuppressionIsSevereOnSparseMarginals) {
+  // The historical scheme's cost: on the establishment marginal, a large
+  // share of cells (dominated by sparse place x industry combos) is lost
+  // outright — the data-loss problem noise infusion was built to solve.
+  auto result = SuppressMarginal(*query_, {}).value();
+  EXPECT_GT(result.SuppressedCellShare(), 0.3);
+}
+
+}  // namespace
+}  // namespace eep::sdl

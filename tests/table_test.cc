@@ -1,0 +1,144 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::table {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema::Create({{"id", DataType::kInt64, nullptr},
+                         {"score", DataType::kDouble, nullptr}})
+      .value();
+}
+
+TEST(TableTest, CreateValidatesShapes) {
+  auto schema = TwoColumnSchema();
+  // Length mismatch.
+  EXPECT_FALSE(Table::Create(schema, {Column::OfInt64({1, 2}),
+                                      Column::OfDouble({1.0})})
+                   .ok());
+  // Type mismatch.
+  EXPECT_FALSE(Table::Create(schema, {Column::OfDouble({1.0}),
+                                      Column::OfDouble({1.0})})
+                   .ok());
+  // Count mismatch.
+  EXPECT_FALSE(Table::Create(schema, {Column::OfInt64({1})}).ok());
+  // Valid.
+  auto t = Table::Create(schema,
+                         {Column::OfInt64({1, 2}), Column::OfDouble({1.0, 2.0})});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_rows(), 2u);
+  EXPECT_EQ(t.value().num_columns(), 2u);
+}
+
+TEST(TableTest, CreateValidatesCategoryCodes) {
+  auto dict = Dictionary::Create({"a", "b"}).value();
+  auto schema =
+      Schema::Create({{"cat", DataType::kCategory, dict}}).value();
+  EXPECT_FALSE(Table::Create(schema, {Column::OfCategory({0, 5})}).ok());
+  EXPECT_TRUE(Table::Create(schema, {Column::OfCategory({0, 1})}).ok());
+}
+
+TEST(TableTest, ColumnByName) {
+  auto t = Table::Create(TwoColumnSchema(), {Column::OfInt64({7}),
+                                             Column::OfDouble({2.5})})
+               .value();
+  EXPECT_EQ((*t.ColumnByName("id").value()->AsInt64().value())[0], 7);
+  EXPECT_EQ(t.ColumnByName("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, FilterKeepsMatchingRows) {
+  auto t = Table::Create(TwoColumnSchema(),
+                         {Column::OfInt64({1, 2, 3}),
+                          Column::OfDouble({0.1, 0.2, 0.3})})
+               .value();
+  auto filtered = t.Filter({false, true, true}).value();
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.column(0).int64s()[0], 2);
+  EXPECT_FALSE(t.Filter({true}).ok());  // mask length mismatch
+}
+
+TEST(TableTest, SelectReordersColumns) {
+  auto t = Table::Create(TwoColumnSchema(), {Column::OfInt64({1}),
+                                             Column::OfDouble({9.0})})
+               .value();
+  auto sel = t.Select({"score", "id"}).value();
+  EXPECT_EQ(sel.schema().field(0).name, "score");
+  EXPECT_EQ(sel.schema().field(1).name, "id");
+  EXPECT_FALSE(t.Select({"missing"}).ok());
+}
+
+TEST(TableTest, HashJoinInner) {
+  auto left = Table::Create(
+                  Schema::Create({{"k", DataType::kInt64, nullptr},
+                                  {"lv", DataType::kDouble, nullptr}})
+                      .value(),
+                  {Column::OfInt64({1, 2, 3, 2}),
+                   Column::OfDouble({0.1, 0.2, 0.3, 0.4})})
+                  .value();
+  auto right = Table::Create(
+                   Schema::Create({{"k", DataType::kInt64, nullptr},
+                                   {"rv", DataType::kInt64, nullptr}})
+                       .value(),
+                   {Column::OfInt64({2, 3}), Column::OfInt64({20, 30})})
+                   .value();
+  auto joined = Table::HashJoin(left, "k", right, "k").value();
+  // Rows with k=1 dropped; duplicate left keys both matched.
+  EXPECT_EQ(joined.num_rows(), 3u);
+  EXPECT_EQ(joined.num_columns(), 3u);  // k, lv, rv
+  const auto& ks = joined.ColumnByName("k").value()->int64s();
+  const auto& rvs = joined.ColumnByName("rv").value()->int64s();
+  for (size_t i = 0; i < ks.size(); ++i) {
+    EXPECT_EQ(rvs[i], ks[i] * 10);
+  }
+}
+
+TEST(TableTest, HashJoinRejectsDuplicateRightKeys) {
+  auto mk = [](std::vector<int64_t> keys) {
+    return Table::Create(
+               Schema::Create({{"k", DataType::kInt64, nullptr}}).value(),
+               {Column::OfInt64(std::move(keys))})
+        .value();
+  };
+  EXPECT_FALSE(Table::HashJoin(mk({1}), "k", mk({2, 2}), "k").ok());
+}
+
+TEST(TableTest, HashJoinRejectsDuplicateOutputColumns) {
+  auto schema = Schema::Create({{"k", DataType::kInt64, nullptr},
+                                {"v", DataType::kInt64, nullptr}})
+                    .value();
+  auto left = Table::Create(schema, {Column::OfInt64({1}),
+                                     Column::OfInt64({10})})
+                  .value();
+  auto right = Table::Create(schema, {Column::OfInt64({1}),
+                                      Column::OfInt64({99})})
+                   .value();
+  // Both sides carry a non-key column "v".
+  EXPECT_FALSE(Table::HashJoin(left, "k", right, "k").ok());
+}
+
+TEST(TableBuilderTest, AppendAndFinish) {
+  auto dict = Dictionary::Create({"x", "y"}).value();
+  auto schema = Schema::Create({{"id", DataType::kInt64, nullptr},
+                                {"cat", DataType::kCategory, dict},
+                                {"w", DataType::kDouble, nullptr}})
+                    .value();
+  TableBuilder builder(schema);
+  ASSERT_TRUE(builder.AppendRow({1}, {0.5}, {}, {0}).ok());
+  ASSERT_TRUE(builder.AppendRow({2}, {1.5}, {}, {1}).ok());
+  EXPECT_EQ(builder.num_rows(), 2u);
+  auto t = builder.Finish().value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.ColumnByName("cat").value()->codes()[1], 1u);
+  EXPECT_EQ(t.ColumnByName("w").value()->doubles()[0], 0.5);
+}
+
+TEST(TableBuilderTest, ArityMismatchRejected) {
+  auto schema = TwoColumnSchema();
+  TableBuilder builder(schema);
+  EXPECT_FALSE(builder.AppendRow({1, 2}, {0.5}, {}, {}).ok());
+  EXPECT_FALSE(builder.AppendRow({1}, {}, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace eep::table

@@ -1,0 +1,48 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eep {
+namespace {
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1000000.0, 4), "1e+06");
+  EXPECT_EQ(FormatDouble(0.5, 4), "0.5");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow(std::vector<std::string>{"x", "1"});
+  table.AddRow(std::vector<std::string>{"longer-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, PadsShortRowsAndTruncatesLong) {
+  TextTable table({"a", "b"});
+  table.AddRow(std::vector<std::string>{"only-a"});
+  table.AddRow(std::vector<std::string>{"1", "2", "dropped"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str().find("dropped"), std::string::npos);
+}
+
+TEST(TextTableTest, DoubleRowsFormatted) {
+  TextTable table({"x", "y"});
+  table.AddRow(std::vector<double>{1.23456, 2.0}, 3);
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eep

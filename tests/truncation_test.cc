@@ -1,0 +1,57 @@
+#include "graph/truncation.h"
+
+#include <gtest/gtest.h>
+
+namespace eep::graph {
+namespace {
+
+BipartiteGraph ToyGraph() {
+  return BipartiteGraph::Create({{1, 10},
+                                 {2, 10},
+                                 {3, 10},
+                                 {4, 20},
+                                 {5, 30},
+                                 {6, 30}})
+      .value();
+}
+
+TEST(TruncationTest, RemovesHighDegreeEstablishments) {
+  BipartiteGraph g = ToyGraph();
+  auto result = TruncateByDegree(g, 2).value();
+  EXPECT_EQ(result.removed_estabs.size(), 1u);
+  EXPECT_TRUE(result.removed_estabs.count(10));
+  EXPECT_EQ(result.removed_edges, 3);
+  EXPECT_EQ(result.kept_edges.size(), 3u);
+}
+
+TEST(TruncationTest, ThetaAtMaxKeepsAll) {
+  BipartiteGraph g = ToyGraph();
+  auto result = TruncateByDegree(g, 3).value();
+  EXPECT_TRUE(result.removed_estabs.empty());
+  EXPECT_EQ(result.removed_edges, 0);
+  EXPECT_EQ(result.kept_edges.size(), 6u);
+}
+
+TEST(TruncationTest, ThetaOneKeepsOnlySingletons) {
+  BipartiteGraph g = ToyGraph();
+  auto result = TruncateByDegree(g, 1).value();
+  EXPECT_EQ(result.removed_estabs.size(), 2u);
+  EXPECT_EQ(result.kept_edges.size(), 1u);
+  EXPECT_EQ(result.kept_edges[0].estab_id, 20);
+}
+
+TEST(TruncationTest, RejectsBadTheta) {
+  BipartiteGraph g = ToyGraph();
+  EXPECT_FALSE(TruncateByDegree(g, 0).ok());
+  EXPECT_FALSE(TruncateByDegree(g, -5).ok());
+}
+
+TEST(TruncationTest, ProjectedGraphDegreesBounded) {
+  BipartiteGraph g = ToyGraph();
+  auto result = TruncateByDegree(g, 2).value();
+  auto projected = BipartiteGraph::Create(result.kept_edges).value();
+  EXPECT_LE(projected.MaxEstabDegree(), 2);
+}
+
+}  // namespace
+}  // namespace eep::graph

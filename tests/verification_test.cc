@@ -1,0 +1,94 @@
+#include "privacy/verification.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.h"
+
+namespace eep::privacy {
+namespace {
+
+TEST(CheckAdditivePairTest, LaplacePairWithinEpsilonPasses) {
+  auto lap = LaplaceDistribution::Create(1.0).value();
+  auto pdf = [&lap](double z) { return lap.Pdf(z); };
+  // Counts 10 vs 11 with scale 1/eps noise: max log ratio = eps * |q1-q2|.
+  const double eps = 1.0;
+  auto result = CheckAdditivePair(pdf, 10.0, 1.0 / eps, 11.0, 1.0 / eps, eps);
+  EXPECT_TRUE(result.passed);
+  EXPECT_NEAR(result.max_log_ratio, eps, 1e-6);
+}
+
+TEST(CheckAdditivePairTest, TooCloseScaleFails) {
+  auto lap = LaplaceDistribution::Create(1.0).value();
+  auto pdf = [&lap](double z) { return lap.Pdf(z); };
+  // Shift of 2 with scale 1/eps: ratio reaches 2*eps > eps.
+  auto result = CheckAdditivePair(pdf, 10.0, 1.0, 12.0, 1.0, 1.0);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NEAR(result.max_log_ratio, 2.0, 1e-6);
+}
+
+TEST(CheckAdditivePairTest, DifferentScalesHandled) {
+  // Smooth-sensitivity style: neighboring databases may carry different
+  // noise scales; the checker must consider the density ratio across both.
+  auto lap = LaplaceDistribution::Create(1.0).value();
+  auto pdf = [&lap](double z) { return lap.Pdf(z); };
+  auto result = CheckAdditivePair(pdf, 100.0, 10.0, 110.0, 11.0, 2.0);
+  EXPECT_TRUE(result.passed);
+}
+
+TEST(CheckMonteCarloPairTest, IdenticalMechanismsPass) {
+  Rng rng(101);
+  auto mech = [](Rng& r) { return 5.0 + r.Laplace(2.0); };
+  auto result = CheckMonteCarloPair(mech, mech, 0.5, 0.0, 40000, 30, rng);
+  EXPECT_TRUE(result.passed);
+}
+
+TEST(CheckMonteCarloPairTest, DetectsGrossViolation) {
+  Rng rng(103);
+  // Disjoint supports: Pr1 mass where Pr2 has none.
+  auto mech1 = [](Rng& r) { return 0.0 + 0.1 * r.Uniform(); };
+  auto mech2 = [](Rng& r) { return 100.0 + 0.1 * r.Uniform(); };
+  auto result = CheckMonteCarloPair(mech1, mech2, 1.0, 0.0, 20000, 20, rng);
+  EXPECT_FALSE(result.passed);
+}
+
+TEST(CheckMonteCarloPairTest, PointMassesEqual) {
+  Rng rng(105);
+  auto mech = [](Rng&) { return 7.0; };
+  auto result = CheckMonteCarloPair(mech, mech, 0.1, 0.0, 1000, 10, rng);
+  EXPECT_TRUE(result.passed);
+}
+
+TEST(MaxLogBayesFactorTest, UniformLikelihoodsGiveZero) {
+  EXPECT_NEAR(MaxLogBayesFactor({0.5, 0.5}, {0.3, 0.3}).value(), 0.0, 1e-12);
+}
+
+TEST(MaxLogBayesFactorTest, RatioOfExtremes) {
+  // Likelihoods e and 1: log Bayes factor = 1.
+  EXPECT_NEAR(
+      MaxLogBayesFactor({0.2, 0.3, 0.5}, {std::exp(1.0), 1.0, 2.0}).value(),
+      1.0, 1e-12);
+}
+
+TEST(MaxLogBayesFactorTest, ZeroPriorWorldsIgnored) {
+  // World 0 has likelihood 100 but prior 0: it cannot enter a Bayes factor.
+  EXPECT_NEAR(MaxLogBayesFactor({0.0, 0.5, 0.5}, {100.0, 2.0, 2.0}).value(),
+              0.0, 1e-12);
+}
+
+TEST(MaxLogBayesFactorTest, ImpossibleOutputUnbounded) {
+  auto result = MaxLogBayesFactor({0.5, 0.5}, {1.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isinf(result.value()));
+}
+
+TEST(MaxLogBayesFactorTest, Validation) {
+  EXPECT_FALSE(MaxLogBayesFactor({}, {}).ok());
+  EXPECT_FALSE(MaxLogBayesFactor({0.5}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MaxLogBayesFactor({0.5, 0.5}, {1.0, -1.0}).ok());
+  EXPECT_FALSE(MaxLogBayesFactor({0.0, 0.0}, {1.0, 1.0}).ok());
+}
+
+}  // namespace
+}  // namespace eep::privacy
