@@ -1,0 +1,112 @@
+// Scaling bench for the sharded release pipeline: times RunRelease over a
+// large marginal at increasing worker-thread counts, verifies that every
+// thread count produces a bit-identical table for the fixed seed, and
+// reports the speedup relative to the single-threaded run.
+//
+// Extra flags on top of bench_common's:
+//   --marginal=NAME    establishment | workplace_sexedu | full_demographics
+//                      (default full_demographics, the largest tabulation)
+//   --max_threads=N    highest thread count in the sweep (default 8)
+//   --reps=N           timed repetitions per thread count, best-of (default 3)
+//   --shard=N          cells per shard (default 1024)
+#include <chrono>
+#include <functional>
+
+#include "bench_common.h"
+#include "release/pipeline.h"
+
+namespace {
+
+size_t HashRows(const eep::release::ReleasedTable& table) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& row : table.rows) {
+    for (const auto& cell : row) {
+      for (char c : cell) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+      h = (h ^ '|') * 0x100000001b3ULL;
+    }
+    h = (h ^ '\n') * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eep;
+  const Flags flags = Flags::Parse(argc, argv);
+  const bench::BenchSetup setup = bench::SetupFromFlags(flags);
+  lodes::LodesDataset data = bench::MustGenerate(setup);
+
+  release::ReleaseConfig config;
+  const std::string marginal =
+      flags.GetString("marginal", "full_demographics");
+  auto spec = lodes::MarginalSpec::ByName(marginal);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  config.spec = std::move(spec).value();
+  config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  config.alpha = 0.1;
+  config.epsilon = 2.0;
+  config.delta = 0.05;
+  config.shard_size = static_cast<int>(flags.GetInt("shard", 1024));
+
+  const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const uint64_t noise_seed = setup.generator.seed ^ 0x9E1Eu;
+
+  std::printf("=== Release pipeline scaling — %s marginal ===\n",
+              marginal.c_str());
+  bench::PrintDatasetSummary(data, setup);
+
+  TextTable table({"threads", "best ms", "speedup", "cells/s", "rows hash"});
+  double base_ms = 0.0;
+  size_t base_hash = 0;
+  size_t num_cells = 0;
+  bool all_identical = true;
+  std::vector<int> sweep;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    sweep.push_back(threads);
+  }
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  for (int threads : sweep) {
+    config.num_threads = threads;
+    double best_ms = 0.0;
+    size_t hash = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(noise_seed);
+      const auto start = std::chrono::steady_clock::now();
+      auto released = release::RunRelease(data, config, nullptr, rng);
+      const auto stop = std::chrono::steady_clock::now();
+      if (!released.ok()) {
+        std::fprintf(stderr, "release failed: %s\n",
+                     released.status().ToString().c_str());
+        return 1;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      hash = HashRows(released.value());
+      num_cells = released.value().rows.size();
+    }
+    if (threads == 1) {
+      base_ms = best_ms;
+      base_hash = hash;
+    } else if (hash != base_hash) {
+      all_identical = false;
+    }
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016zx", hash);
+    table.AddRow({std::to_string(threads), FormatDouble(best_ms, 2),
+                  FormatDouble(base_ms / best_ms, 2),
+                  std::to_string(static_cast<long long>(
+                      num_cells / (best_ms / 1000.0))),
+                  hash_hex});
+  }
+  table.Print(std::cout);
+  std::printf("\n%zu cells; released tables %s across thread counts\n",
+              num_cells,
+              all_identical ? "BIT-IDENTICAL" : "DIFFER (BUG!)");
+  return all_identical ? 0 : 1;
+}

@@ -5,9 +5,10 @@
 //
 // Usage:
 //   ./build/examples/agency_release
-//       --marginal=establishment|sexedu --mechanism=smooth_laplace
+//       --marginal=establishment|workplace_sexedu|full_demographics
+//       --mechanism=smooth_laplace
 //       --alpha=0.1 --epsilon=2 --delta=0.05 --budget=8
-//       --jobs=50000 --out=/tmp/protected.csv
+//       --jobs=50000 --threads=1 --out=/tmp/protected.csv
 #include <cstdio>
 #include <iostream>
 
@@ -23,19 +24,22 @@ int main(int argc, char** argv) {
   generator.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   generator.target_jobs = flags.GetInt("jobs", 50000);
   generator.num_places = static_cast<int32_t>(flags.GetInt("places", 80));
-  auto data =
-      lodes::SyntheticLodesGenerator(generator).Generate().value();
+  auto generated = lodes::SyntheticLodesGenerator(generator).Generate();
+  if (!generated.ok()) {
+    std::cerr << "dataset generation failed: " << generated.status().ToString()
+              << "\n";
+    return 1;
+  }
+  auto data = std::move(generated).value();
 
   release::ReleaseConfig config;
   const std::string marginal = flags.GetString("marginal", "establishment");
-  if (marginal == "establishment") {
-    config.spec = lodes::MarginalSpec::EstablishmentMarginal();
-  } else if (marginal == "sexedu") {
-    config.spec = lodes::MarginalSpec::WorkplaceBySexEducation();
-  } else {
-    std::cerr << "unknown --marginal (use establishment|sexedu)\n";
+  auto spec = lodes::MarginalSpec::ByName(marginal);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
     return 1;
   }
+  config.spec = std::move(spec).value();
 
   const std::string mech = flags.GetString("mechanism", "smooth_laplace");
   if (mech == "smooth_laplace") {
@@ -72,6 +76,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --threads=N shards the per-cell noise loop; the published table is
+  // identical for every thread count (0 = all hardware threads).
+  config.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   Rng rng(static_cast<uint64_t>(flags.GetInt("noise_seed", 1)));
   auto released =
       release::RunRelease(data, config, &accountant.value(), rng);

@@ -66,8 +66,25 @@ class Rng {
 
   /// Splits off an independently seeded child generator. Children derived
   /// with distinct `stream` values have decorrelated state, which lets
-  /// parallel workloads draw reproducible noise.
+  /// parallel workloads draw reproducible noise. Advances this generator by
+  /// one draw, so successive Fork() calls yield distinct children even for
+  /// the same `stream`.
   Rng Fork(uint64_t stream);
+
+  /// Derives the `stream`-th substream WITHOUT advancing this generator:
+  /// the child depends only on the current state and `stream`, so
+  /// `rng.Substream(k)` is the same generator no matter how many other
+  /// substreams were taken first or from which thread. This is the
+  /// primitive behind sharded noise drawing: shard k of a parallel release
+  /// always sees the same stream regardless of worker count or shard
+  /// visit order.
+  Rng Substream(uint64_t stream) const;
+
+  /// Jump-ahead: advances this generator by 2^128 steps of NextUint64 in
+  /// O(1) (the xoshiro256++ jump polynomial). Two generators separated by
+  /// a Jump() produce non-overlapping sequences for any realistic draw
+  /// count, giving an alternative block-splitting scheme to Substream().
+  void Jump();
 
  private:
   uint64_t s_[4];

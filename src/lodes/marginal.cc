@@ -24,6 +24,17 @@ MarginalSpec MarginalSpec::FullDemographics() {
           {kColSex, kColAge, kColRace, kColEthnicity, kColEducation}};
 }
 
+Result<MarginalSpec> MarginalSpec::ByName(const std::string& name) {
+  if (name == "establishment") return EstablishmentMarginal();
+  if (name == "workplace_sexedu" || name == "sexedu") {
+    return WorkplaceBySexEducation();
+  }
+  if (name == "full_demographics") return FullDemographics();
+  return Status::InvalidArgument(
+      "unknown marginal \"" + name +
+      "\" (use establishment|workplace_sexedu|full_demographics)");
+}
+
 Status MarginalSpec::Validate() const {
   if (workplace_attrs.empty() && worker_attrs.empty()) {
     return Status::InvalidArgument("marginal needs at least one attribute");

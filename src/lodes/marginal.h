@@ -43,6 +43,12 @@ struct MarginalSpec {
   /// crossed with ALL five worker attributes (worker domain d = 768).
   static MarginalSpec FullDemographics();
 
+  /// Looks up one of the named specs above from a CLI-friendly name:
+  /// "establishment", "workplace_sexedu" (alias "sexedu") or
+  /// "full_demographics". The single mapping shared by every bench and
+  /// example flag parser.
+  static Result<MarginalSpec> ByName(const std::string& name);
+
   Status Validate() const;
 };
 

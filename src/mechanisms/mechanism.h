@@ -40,6 +40,24 @@ class CountMechanism {
   /// Releases one noisy count.
   virtual Result<double> Release(const CellQuery& cell, Rng& rng) const = 0;
 
+  /// Releases a batch of cells, appending one noisy count per cell to
+  /// `out`. The default draws per cell via Release(). Overrides (e.g. a
+  /// vectorized sampler) must be deterministic given the incoming `rng`
+  /// state but are free to consume the stream differently from the
+  /// default, which changes the released values — akin to changing the
+  /// seed, and fine because callers discard the rng after the call rather
+  /// than relying on its final position. Sharded runners call this once
+  /// per shard with that shard's substream.
+  virtual Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                              std::vector<double>* out) const {
+    out->reserve(out->size() + cells.size());
+    for (const CellQuery& cell : cells) {
+      EEP_ASSIGN_OR_RETURN(double released, Release(cell, rng));
+      out->push_back(released);
+    }
+    return Status::OK();
+  }
+
   /// Analytic expected |error| for this cell when available; unbounded /
   /// unknown values return an error status.
   virtual Result<double> ExpectedL1Error(const CellQuery& cell) const = 0;

@@ -1,6 +1,10 @@
 #include "release/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/math_util.h"
@@ -11,11 +15,114 @@ Status ReleasedTable::WriteCsv(const std::string& path) const {
   return WriteCsvFile(path, header, rows);
 }
 
+namespace {
+
+/// Work shared by the shard workers: everything here is read-only during
+/// the parallel phase except `rows` (disjoint slots) and the error state.
+struct ShardedRelease {
+  const lodes::LodesDataset* data = nullptr;
+  const ReleaseConfig* config = nullptr;
+  const lodes::MarginalQuery* query = nullptr;
+  const mechanisms::CountMechanism* mechanism = nullptr;
+  /// Roots the per-shard substreams; never advanced after construction.
+  Rng noise_root;
+  size_t shard_size = 0;
+  size_t num_shards = 0;
+  std::vector<std::vector<std::string>>* rows = nullptr;
+
+  std::atomic<size_t> next_shard{0};
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  ShardedRelease() : noise_root(0) {}
+
+  void RecordError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = status;
+  }
+
+  bool Failed() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    return !first_error.ok();
+  }
+
+  /// Releases and formats the cells of one shard into their row slots.
+  Status RunShard(size_t shard) {
+    const auto& cells = query->cells();
+    const size_t begin = shard * shard_size;
+    const size_t end = std::min(cells.size(), begin + shard_size);
+
+    // Batch the mechanism sampling: one CellQuery vector, one substream,
+    // one ReleaseBatch call per shard.
+    static const std::vector<table::EstabContribution> kNoContribs;
+    std::vector<mechanisms::CellQuery> batch;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      mechanisms::CellQuery cq;
+      cq.true_count = cells[i].count;
+      cq.x_v = cells[i].x_v;
+      const table::GroupedCell* grouped = query->grouped().Find(cells[i].key);
+      cq.contributions = grouped ? &grouped->contributions : &kNoContribs;
+      batch.push_back(cq);
+    }
+    Rng shard_rng = noise_root.Substream(shard);
+    std::vector<double> released;
+    EEP_RETURN_NOT_OK(mechanism->ReleaseBatch(batch, shard_rng, &released));
+    if (released.size() != batch.size()) {
+      return Status::Internal(
+          "ReleaseBatch produced " + std::to_string(released.size()) +
+          " values for " + std::to_string(batch.size()) + " cells");
+    }
+
+    const auto& codec = query->codec();
+    const size_t width = config->spec.AllColumns().size() + 1;
+    for (size_t i = begin; i < end; ++i) {
+      std::vector<std::string> row;
+      row.reserve(width);
+      const auto codes = codec.Unpack(cells[i].key);
+      for (size_t c = 0; c < codes.size(); ++c) {
+        const auto& field =
+            data->worker_full().schema().field(codec.column_indices()[c]);
+        EEP_ASSIGN_OR_RETURN(std::string value,
+                             field.dictionary->ValueOf(codes[c]));
+        row.push_back(std::move(value));
+      }
+      const double value = released[i - begin];
+      if (config->round_counts) {
+        row.push_back(std::to_string(RoundNonNegative(value)));
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f", value);
+        row.emplace_back(buf);
+      }
+      (*rows)[i] = std::move(row);
+    }
+    return Status::OK();
+  }
+
+  /// Claims shards until the queue drains or another worker fails.
+  void Worker() {
+    for (size_t shard = next_shard.fetch_add(1); shard < num_shards;
+         shard = next_shard.fetch_add(1)) {
+      if (Failed()) return;
+      if (Status st = RunShard(shard); !st.ok()) {
+        RecordError(st);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
 Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
                                  const ReleaseConfig& config,
                                  privacy::PrivacyAccountant* accountant,
                                  Rng& rng) {
   EEP_RETURN_NOT_OK(config.spec.Validate());
+  if (config.shard_size < 1) {
+    return Status::InvalidArgument("shard_size must be >= 1");
+  }
   EEP_ASSIGN_OR_RETURN(lodes::MarginalQuery query,
                        lodes::MarginalQuery::Compute(data, config.spec));
 
@@ -38,37 +145,44 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
   ReleasedTable out;
   out.header = config.spec.AllColumns();
   out.header.push_back("count");
-  out.rows.reserve(query.cells().size());
+  out.rows.assign(query.cells().size(), {});
 
-  static const std::vector<table::EstabContribution> kNoContribs;
-  const auto& codec = query.codec();
-  for (const auto& cell : query.cells()) {
-    mechanisms::CellQuery cq;
-    cq.true_count = cell.count;
-    cq.x_v = cell.x_v;
-    const table::GroupedCell* grouped = query.grouped().Find(cell.key);
-    cq.contributions = grouped ? &grouped->contributions : &kNoContribs;
-    EEP_ASSIGN_OR_RETURN(double released, mechanism->Release(cq, rng));
+  // Exactly one draw from the caller's stream roots every shard substream,
+  // so the caller's rng advances the same way regardless of sharding or
+  // thread count, and shard k's noise is a pure function of (that draw,
+  // shard_size, k). Folding shard_size into the root (rather than only
+  // into the cell->shard assignment) keeps releases with different shard
+  // sizes free of shared noise prefixes: without it, shard 0 of a
+  // 64-cell-shard release would replay the first 64 draws of shard 0 of a
+  // 4096-cell-shard release.
+  ShardedRelease shared;
+  shared.data = &data;
+  shared.config = &config;
+  shared.query = &query;
+  shared.mechanism = mechanism.get();
+  shared.noise_root =
+      Rng(rng.NextUint64()).Substream(static_cast<uint64_t>(config.shard_size));
+  shared.shard_size = static_cast<size_t>(config.shard_size);
+  shared.num_shards =
+      (query.cells().size() + shared.shard_size - 1) / shared.shard_size;
+  shared.rows = &out.rows;
 
-    std::vector<std::string> row;
-    row.reserve(out.header.size());
-    const auto codes = codec.Unpack(cell.key);
-    for (size_t i = 0; i < codes.size(); ++i) {
-      const auto& field =
-          data.worker_full().schema().field(codec.column_indices()[i]);
-      EEP_ASSIGN_OR_RETURN(std::string value,
-                           field.dictionary->ValueOf(codes[i]));
-      row.push_back(std::move(value));
+  size_t threads = config.num_threads > 0
+                       ? static_cast<size_t>(config.num_threads)
+                       : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::clamp<size_t>(threads, 1, std::max<size_t>(1, shared.num_shards));
+
+  if (threads == 1) {
+    shared.Worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&shared] { shared.Worker(); });
     }
-    if (config.round_counts) {
-      row.push_back(std::to_string(RoundNonNegative(released)));
-    } else {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.4f", released);
-      row.emplace_back(buf);
-    }
-    out.rows.push_back(std::move(row));
+    for (auto& t : pool) t.join();
   }
+  if (!shared.first_error.ok()) return shared.first_error;
   return out;
 }
 

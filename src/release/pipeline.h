@@ -31,6 +31,16 @@ struct ReleaseConfig {
   bool round_counts = true;
   /// Label for the accountant ledger.
   std::string description = "marginal release";
+  /// Worker threads for the per-cell noise loop. Cells are split into
+  /// shards and every shard draws from its own substream of the caller's
+  /// rng, so the released table is bit-identical for ANY thread count
+  /// (including 1); <= 0 means std::thread::hardware_concurrency().
+  int num_threads = 1;
+  /// Cells per shard. Part of the noise-stream derivation: changing it
+  /// changes the released noise (like changing the seed), while the thread
+  /// count never does. The default keeps shards large enough that the
+  /// batched mechanism sampling dominates scheduling overhead.
+  int shard_size = 1024;
 };
 
 /// \brief A protected table ready for publication.

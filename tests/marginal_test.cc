@@ -52,6 +52,19 @@ TEST(MarginalSpecTest, Validation) {
   EXPECT_TRUE(MarginalSpec::WorkplaceBySexEducation().Validate().ok());
 }
 
+TEST(MarginalSpecTest, ByNameResolvesNamedSpecs) {
+  EXPECT_EQ(MarginalSpec::ByName("establishment").value().AllColumns(),
+            MarginalSpec::EstablishmentMarginal().AllColumns());
+  EXPECT_EQ(MarginalSpec::ByName("workplace_sexedu").value().AllColumns(),
+            MarginalSpec::WorkplaceBySexEducation().AllColumns());
+  EXPECT_EQ(MarginalSpec::ByName("sexedu").value().AllColumns(),
+            MarginalSpec::WorkplaceBySexEducation().AllColumns());
+  EXPECT_EQ(MarginalSpec::ByName("full_demographics").value().AllColumns(),
+            MarginalSpec::FullDemographics().AllColumns());
+  EXPECT_EQ(MarginalSpec::ByName("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(MarginalSpecTest, AllColumnsOrder) {
   MarginalSpec spec = MarginalSpec::WorkplaceBySexEducation();
   const auto all = spec.AllColumns();

@@ -38,6 +38,9 @@ TEST(SmoothGammaTest, NoiseScaleFollowsSmoothSensitivity) {
               1e-9);
 }
 
+// Tolerance audit: the sampled-moment bounds below sit at >= 11 sigma of
+// the estimator noise (GeneralizedCauchy4 has unit variance, so the mean
+// estimator's sigma is scale/sqrt(n)); safe against stream changes.
 TEST(SmoothGammaTest, UnbiasedRelease) {
   auto mech = SmoothGammaMechanism::Create(Params(0.1, 2.0)).value();
   CellQuery cell{300, 100, nullptr};
