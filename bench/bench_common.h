@@ -2,13 +2,16 @@
 // from command-line flags and figure-point rendering.
 //
 // Every bench accepts:
+//   --paper       generate the paper's extract 1:1 (10.9M jobs, the
+//                 GeneratorConfig::PaperExtract preset; --jobs/--places
+//                 still override its fields)
 //   --jobs=N      target job count        (default 120000, paper: 10.9M)
-//   --places=N    number of Census places (default 160)
+//   --places=N    number of Census places (default 160, paper preset: 640)
 //   --trials=N    Monte-Carlo trials      (default 5, paper: 20)
 //   --seed=N      generator seed          (default 42)
 //   --threads=N   trial worker threads    (default 1; results identical)
-// Scaling --jobs to 10900000 reproduces the paper's extract 1:1 (slower;
-// add --threads to compensate).
+// --paper (or scaling --jobs to 10900000 by hand) reproduces the paper's
+// extract 1:1 (slower; add --threads to compensate).
 #ifndef EEP_BENCH_BENCH_COMMON_H_
 #define EEP_BENCH_BENCH_COMMON_H_
 
@@ -34,11 +37,14 @@ struct BenchSetup {
 
 inline BenchSetup SetupFromFlags(const Flags& flags) {
   BenchSetup setup;
+  const bool paper = flags.GetBool("paper", false);
+  if (paper) setup.generator = lodes::GeneratorConfig::PaperExtract();
   setup.generator.seed =
       static_cast<uint64_t>(flags.GetInt("seed", 42));
-  setup.generator.target_jobs = flags.GetInt("jobs", 120000);
-  setup.generator.num_places =
-      static_cast<int32_t>(flags.GetInt("places", 160));
+  setup.generator.target_jobs =
+      flags.GetInt("jobs", paper ? setup.generator.target_jobs : 120000);
+  setup.generator.num_places = static_cast<int32_t>(
+      flags.GetInt("places", paper ? setup.generator.num_places : 160));
   setup.experiment.trials = static_cast<int>(flags.GetInt("trials", 5));
   setup.experiment.threads = static_cast<int>(flags.GetInt("threads", 1));
   setup.experiment.seed = setup.generator.seed ^ 0xBE9Cu;

@@ -1,11 +1,17 @@
 // Scaling bench for the sharded release pipeline: times RunRelease over a
 // large marginal at increasing worker-thread counts, verifies that every
-// thread count produces a bit-identical table for the fixed seed, and
-// reports the speedup relative to the single-threaded run.
+// thread count produces a bit-identical table for the fixed seed, reports
+// the speedup relative to the single-threaded run, and then compares
+// scalar (default per-cell loop) vs vectorized ReleaseBatch sampling
+// throughput for every mechanism over the same cells.
 //
-// Extra flags on top of bench_common's:
+// Extra flags on top of bench_common's (including --paper for the 10.9M
+// extract):
 //   --marginal=NAME    establishment | workplace_sexedu | full_demographics
 //                      (default full_demographics, the largest tabulation)
+//   --mechanism=NAME   log_laplace | smooth_laplace | smooth_gamma |
+//                      edge_laplace | geometric — mechanism for the thread
+//                      sweep (default smooth_laplace)
 //   --max_threads=N    highest thread count in the sweep (default 8)
 //   --reps=N           timed repetitions per thread count, best-of (default 3)
 //   --shard=N          cells per shard (default 1024)
@@ -16,6 +22,19 @@
 #include "release/pipeline.h"
 
 namespace {
+
+eep::Result<eep::eval::MechanismKind> KindByName(const std::string& name) {
+  using eep::eval::MechanismKind;
+  if (name == "log_laplace") return MechanismKind::kLogLaplace;
+  if (name == "smooth_laplace") return MechanismKind::kSmoothLaplace;
+  if (name == "smooth_gamma") return MechanismKind::kSmoothGamma;
+  if (name == "edge_laplace") return MechanismKind::kEdgeLaplace;
+  if (name == "geometric") return MechanismKind::kSmoothGeometric;
+  return eep::Status::InvalidArgument(
+      "unknown mechanism \"" + name +
+      "\" (use log_laplace|smooth_laplace|smooth_gamma|edge_laplace|"
+      "geometric)");
+}
 
 size_t HashRows(const eep::release::ReleasedTable& table) {
   size_t h = 0xcbf29ce484222325ULL;
@@ -46,7 +65,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.spec = std::move(spec).value();
-  config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  auto sweep_kind = KindByName(flags.GetString("mechanism", "smooth_laplace"));
+  if (!sweep_kind.ok()) {
+    std::fprintf(stderr, "%s\n", sweep_kind.status().ToString().c_str());
+    return 1;
+  }
+  config.mechanism = sweep_kind.value();
   config.alpha = 0.1;
   config.epsilon = 2.0;
   config.delta = 0.05;
@@ -56,8 +80,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const uint64_t noise_seed = setup.generator.seed ^ 0x9E1Eu;
 
-  std::printf("=== Release pipeline scaling — %s marginal ===\n",
-              marginal.c_str());
+  std::printf("=== Release pipeline scaling — %s marginal, %s ===\n",
+              marginal.c_str(), eval::MechanismKindName(config.mechanism));
   bench::PrintDatasetSummary(data, setup);
 
   TextTable table({"threads", "best ms", "speedup", "cells/s", "rows hash"});
@@ -108,5 +132,71 @@ int main(int argc, char** argv) {
   std::printf("\n%zu cells; released tables %s across thread counts\n",
               num_cells,
               all_identical ? "BIT-IDENTICAL" : "DIFFER (BUG!)");
+
+  // --- Scalar vs batch sampling throughput, per mechanism. ----------------
+  // Times the mechanism layer in isolation over the same cells the sweep
+  // released: "scalar" forces the CountMechanism default per-cell loop,
+  // "batch" uses the vectorized override.
+  std::printf("\n=== Scalar vs batch ReleaseBatch — %zu cells ===\n",
+              num_cells);
+  auto query = lodes::MarginalQuery::Compute(data, config.spec);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<mechanisms::CellQuery> cells;
+  cells.reserve(query.value().cells().size());
+  for (const auto& cell : query.value().cells()) {
+    mechanisms::CellQuery cq;
+    cq.true_count = cell.count;
+    cq.x_v = cell.x_v;
+    // None of the pipeline mechanism kinds reads contributions; skip the
+    // per-cell grouped() lookup the real pipeline pays for them.
+    cells.push_back(cq);
+  }
+  TextTable mech_table(
+      {"mechanism", "scalar ms", "batch ms", "speedup", "batch cells/s"});
+  const std::vector<eval::MechanismKind> kinds = {
+      eval::MechanismKind::kLogLaplace, eval::MechanismKind::kSmoothLaplace,
+      eval::MechanismKind::kSmoothGamma, eval::MechanismKind::kEdgeLaplace,
+      eval::MechanismKind::kSmoothGeometric};
+  for (eval::MechanismKind kind : kinds) {
+    auto mech = eval::MakeMechanism(kind, config.alpha, config.epsilon,
+                                    config.delta);
+    if (!mech.ok()) {
+      mech_table.AddRow({eval::MechanismKindName(kind), "-", "-", "-",
+                         "infeasible"});
+      continue;
+    }
+    double ms[2] = {0.0, 0.0};
+    for (int batch = 0; batch <= 1; ++batch) {
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng(noise_seed);
+        std::vector<double> out;
+        out.reserve(cells.size());
+        const auto start = std::chrono::steady_clock::now();
+        const Status st =
+            batch ? mech.value()->ReleaseBatch(cells, rng, &out)
+                  : mech.value()->mechanisms::CountMechanism::ReleaseBatch(
+                        cells, rng, &out);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s batch=%d failed: %s\n",
+                       eval::MechanismKindName(kind), batch,
+                       st.ToString().c_str());
+          return 1;
+        }
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || elapsed < ms[batch]) ms[batch] = elapsed;
+      }
+    }
+    mech_table.AddRow(
+        {eval::MechanismKindName(kind), FormatDouble(ms[0], 2),
+         FormatDouble(ms[1], 2), FormatDouble(ms[0] / ms[1], 2),
+         std::to_string(
+             static_cast<long long>(cells.size() / (ms[1] / 1000.0)))});
+  }
+  mech_table.Print(std::cout);
   return all_identical ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 #include "common/distributions.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "common/math_util.h"
 
 namespace eep {
 
@@ -33,6 +36,21 @@ double LaplaceDistribution::Quantile(double u) const {
 
 double LaplaceDistribution::Sample(Rng& rng) const {
   return rng.Laplace(scale_);
+}
+
+void LaplaceDistribution::SampleN(Rng& rng, double* out, size_t n) const {
+  rng.FillUniform(out, n);
+  // Same inverse transform as Rng::Laplace on u ~ U(-1/2, 1/2), but through
+  // the inline branch-free FastLogPositive so the transform loop
+  // vectorizes — the libm log call is the dominant per-sample cost of the
+  // scalar path. Values can differ from Rng::Laplace in the last ulp. No
+  // clamp: mag == +0.0 (a zero uniform, probability 2^-53) saturates
+  // inside FastLogPositive, mirroring the scalar path's 1e-300 floor.
+  for (size_t i = 0; i < n; ++i) {
+    const double u = out[i] - 0.5;
+    const double mag = 1.0 - 2.0 * std::abs(u);
+    out[i] = -std::copysign(scale_, u) * FastLogPositive(mag);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -69,11 +87,22 @@ double GeneralizedCauchy4::Cdf(double z) const {
 
 double GeneralizedCauchy4::Quantile(double u) const {
   assert(u > 0.0 && u < 1.0);
+  // The computed CDF saturates strictly below 1.0 (and above 0.0) in
+  // floating point: the z^-3 tail drops under one ulp of 1 near |z| ~ 1e5,
+  // so for u within an ulp of 0 or 1 the bracket expansion below would
+  // otherwise run lo/hi to +-inf, where Antiderivative evaluates inf/inf =
+  // NaN and the bisection never converges. Clamp u to the attainable range
+  // (moving such u by less than one representable uniform step) and cap
+  // bracket growth as a backstop.
+  constexpr double kBracketCap = 0x1p24;
+  static const double kAttainableLo = GeneralizedCauchy4().Cdf(-0x1p20);
+  static const double kAttainableHi = GeneralizedCauchy4().Cdf(0x1p20);
+  u = std::clamp(u, kAttainableLo, kAttainableHi);
   // The tail decays like z^-3, so quantiles grow like (1-u)^{-1/3}; use that
   // to pick an initial bracket, then bisect on the monotone CDF.
   double lo = -1.0, hi = 1.0;
-  while (Cdf(lo) > u) lo *= 2.0;
-  while (Cdf(hi) < u) hi *= 2.0;
+  while (Cdf(lo) > u && lo > -kBracketCap) lo *= 2.0;
+  while (Cdf(hi) < u && hi < kBracketCap) hi *= 2.0;
   for (int i = 0; i < 200; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (hi - lo < 1e-13 * std::max(1.0, std::abs(mid))) break;

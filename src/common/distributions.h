@@ -6,6 +6,7 @@
 #ifndef EEP_COMMON_DISTRIBUTIONS_H_
 #define EEP_COMMON_DISTRIBUTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/random.h"
@@ -28,6 +29,13 @@ class LaplaceDistribution {
   double Quantile(double u) const;
   /// One draw.
   double Sample(Rng& rng) const;
+  /// Fills out[0..n) with n draws. Consumes exactly n uniforms (the same
+  /// stream positions as n Sample() calls) through the same inverse
+  /// transform as Rng::Laplace, but evaluated with the vectorizable
+  /// FastLogPositive — values may differ from the scalar draws in the
+  /// last ulp. Exists so batch release paths amortize per-draw call
+  /// overhead and vectorize the transform.
+  void SampleN(Rng& rng, double* out, size_t n) const;
   /// E|X| = b.
   double MeanAbs() const { return scale_; }
   /// Var X = 2 b^2.
@@ -60,6 +68,9 @@ class GeneralizedCauchy4 {
   /// Cumulative distribution at z (closed form above).
   double Cdf(double z) const;
   /// Inverse CDF by monotone bisection + Newton polish; |error| < 1e-12.
+  /// `u` within one ulp of 0 or 1 is clamped to the numerically attainable
+  /// range of Cdf (which saturates just below 1 in floating point), so the
+  /// result is finite for every u in (0, 1).
   double Quantile(double u) const;
   /// One draw via inverse transform.
   double Sample(Rng& rng) const;

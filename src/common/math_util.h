@@ -3,9 +3,60 @@
 #define EEP_COMMON_MATH_UTIL_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace eep {
+
+/// Natural log for finite positive normal doubles, accurate to ~2 ulp.
+///
+/// The classic fdlibm/musl argument reduction (x = 2^k · m with
+/// m ∈ [√2/2, √2), then the degree-7 minimax polynomial in s = f/(2+f)
+/// for f = m−1), written branch-free so compilers can auto-vectorize the
+/// batch noise-transform loops that call it — the libm call is the
+/// dominant per-sample cost of inverse-transform Laplace sampling, and a
+/// call into libm can neither inline nor vectorize. Deterministic: a pure
+/// function of the bits of x, with no libm, errno, or rounding-mode
+/// dependence. Callers guarantee x is a positive finite normal double or
+/// +0.0 — zero saturates to log(2^-1023) ≈ -709.09 (the reduction treats
+/// the zero mantissa/exponent as 1.0·2^-1023), which is how the samplers
+/// absorb a zero uniform without a clamping branch (a branch in the
+/// transform loop defeats the vectorizer). Other inputs are undefined.
+inline double FastLogPositive(double x) {
+  constexpr double kLg1 = 6.666666666666735130e-01;
+  constexpr double kLg2 = 3.999999999940941908e-01;
+  constexpr double kLg3 = 2.857142874366239149e-01;
+  constexpr double kLg4 = 2.222219843214978396e-01;
+  constexpr double kLg5 = 1.818357216161805012e-01;
+  constexpr double kLg6 = 1.531383769920937332e-01;
+  constexpr double kLg7 = 1.479819860511658591e-01;
+  // ln2 split so k·ln2_hi is exact for |k| < 2^10.
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  // Mantissa of sqrt(2): fractions above it are reduced to [sqrt(2)/2, 1).
+  constexpr uint64_t kSqrt2Mantissa = 0x6A09E667F3BCDULL;
+
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const uint64_t frac = bits & 0xFFFFFFFFFFFFFULL;
+  const uint64_t in_upper_half = frac >= kSqrt2Mantissa ? 1 : 0;
+  const double k =
+      static_cast<double>(static_cast<int64_t>(bits >> 52) - 1023 +
+                          static_cast<int64_t>(in_upper_half));
+  const uint64_t m_bits = frac | ((1022 + (1 - in_upper_half)) << 52);
+  double m;
+  std::memcpy(&m, &m_bits, sizeof(m));
+
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  const double w = z * z;
+  const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+  const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+  const double r = t1 + t2;
+  const double hfsq = 0.5 * f * f;
+  return k * kLn2Hi - ((hfsq - (s * (hfsq + r) + k * kLn2Lo)) - f);
+}
 
 /// Clamps x into [lo, hi].
 double Clamp(double x, double lo, double hi);

@@ -1,5 +1,6 @@
 #include "common/random.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -37,6 +38,12 @@ uint64_t Rng::NextUint64() {
 double Rng::Uniform() {
   // 53 random mantissa bits -> uniform in [0, 1).
   return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+void Rng::FillUniform(double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 }
 
 double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
@@ -100,6 +107,18 @@ int64_t Rng::TwoSidedGeometric(double p) {
     return static_cast<int64_t>(std::floor(std::log(u) / std::log(p)));
   };
   return geometric() - geometric();
+}
+
+void Rng::FillTwoSidedGeometric(double p, int64_t* out, size_t n) {
+  assert(p > 0.0 && p < 1.0);
+  const double inv_log_p = 1.0 / std::log(p);
+  // No redraw on zero uniforms (they saturate inside the shared leg), so
+  // the consumed draw count is fixed at 2n.
+  for (size_t i = 0; i < n; ++i) {
+    const double g1 = TwoSidedGeometricLeg(Uniform(), inv_log_p);
+    const double g2 = TwoSidedGeometricLeg(Uniform(), inv_log_p);
+    out[i] = static_cast<int64_t>(g1 - g2);
+  }
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {

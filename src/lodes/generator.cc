@@ -65,6 +65,13 @@ constexpr double kNonCollegeSplit[3] = {0.18, 0.45, 0.37};
 
 }  // namespace
 
+GeneratorConfig GeneratorConfig::PaperExtract() {
+  GeneratorConfig config;
+  config.target_jobs = 10'900'000;
+  config.num_places = 640;
+  return config;
+}
+
 Status GeneratorConfig::Validate() const {
   if (target_jobs < 1000) {
     return Status::InvalidArgument("target_jobs must be >= 1000");

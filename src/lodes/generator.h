@@ -26,6 +26,14 @@ namespace eep::lodes {
 /// establishments across 160 places) and run in well under a second; scale
 /// `target_jobs` up to 10'900'000 to match the paper's extract 1:1.
 struct GeneratorConfig {
+  /// The paper's 3-state LODES extract at 1:1 scale: 10.9M jobs in ~420k
+  /// establishments under the default size distribution (same regime as
+  /// the extract's ~527k), spread over four times the default place count
+  /// so cell sparsity stays realistic.
+  /// Generation takes seconds and ~2 GB — benches opt in via --paper, and
+  /// the regression test carrying this preset is CTest-labeled `slow`.
+  static GeneratorConfig PaperExtract();
+
   uint64_t seed = 42;
 
   /// Approximate number of jobs to generate (establishments are drawn until

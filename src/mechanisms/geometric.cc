@@ -1,10 +1,30 @@
 #include "mechanisms/geometric.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "privacy/sensitivity.h"
 
 namespace eep::mechanisms {
+namespace {
+
+// exp(-1/scale) rounds to exactly 1.0 once 1/scale drops below ~2^-54 (one
+// half-ulp of 1). Both release paths reject that region: the sampler's
+// 1/ln(p) and ExpectedL1Error's 2p/(1-p^2) are inf/NaN there, and a noise
+// distribution indistinguishable from "no distribution" has no meaningful
+// release. The scalar path guards the computed p directly; the batch path
+// evaluates that same check, but only for scales above this conservative
+// bound (exp(-1/2^50) is still 16 ulp below 1), keeping exp out of the
+// hot loop while staying bit-for-bit aligned with the scalar cutoff.
+constexpr double kNearDegenerateScale = 0x1p50;
+
+Status DegenerateParameterError() {
+  return Status::OutOfRange(
+      "geometric parameter p = exp(-1/scale) is not in [0, 1): smooth "
+      "sensitivity too large (x_v * alpha overflows the noise scale)");
+}
+
+}  // namespace
 
 Result<GeometricMechanism> GeometricMechanism::Create(
     privacy::PrivacyParams params) {
@@ -20,7 +40,9 @@ Result<double> GeometricMechanism::GeometricParameter(
   const double scale = smooth / (params_.epsilon / 2.0);
   // Match the continuous Laplace(scale) tail: Pr[|k|] ~ p^{|k|} with
   // p = e^{-1/scale}.
-  return std::exp(-1.0 / scale);
+  const double p = std::exp(-1.0 / scale);
+  if (!(p >= 0.0 && p < 1.0)) return DegenerateParameterError();
+  return p;
 }
 
 Result<double> GeometricMechanism::Release(const CellQuery& cell,
@@ -29,7 +51,52 @@ Result<double> GeometricMechanism::Release(const CellQuery& cell,
     return Status::InvalidArgument("count must be >= 0");
   }
   EEP_ASSIGN_OR_RETURN(double p, GeometricParameter(cell));
+  // p == 0 is the zero-noise limit (all mass at 0); the sampler requires
+  // p > 0.
+  if (p == 0.0) return static_cast<double>(cell.true_count);
   return static_cast<double>(cell.true_count + rng.TwoSidedGeometric(p));
+}
+
+Status GeometricMechanism::ReleaseBatch(const std::vector<CellQuery>& cells,
+                                        Rng& rng,
+                                        std::vector<double>* out) const {
+  const size_t n = cells.size();
+  // Parameter pass, hoisted out of the sampling loop: (alpha, b)
+  // feasibility was settled at Create, and ln(p) = -1/scale exactly in the
+  // math, so the batch path needs neither exp nor log to derive the
+  // per-cell 1/ln(p) = -scale the inverse transform divides by.
+  std::vector<double> inv_log_p(n);
+  const double half_eps = params_.epsilon / 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cells[i].true_count < 0) {
+      return Status::InvalidArgument("count must be >= 0");
+    }
+    if (cells[i].x_v < 0) return Status::InvalidArgument("x_v must be >= 0");
+    // Same expression as GeometricParameter, so the degenerate cutoff
+    // below agrees with the scalar path to the last ulp.
+    const double scale =
+        std::max(1.0, static_cast<double>(cells[i].x_v) * params_.alpha) /
+        half_eps;
+    if (scale >= kNearDegenerateScale) {
+      const double p = std::exp(-1.0 / scale);
+      if (!(p >= 0.0 && p < 1.0)) return DegenerateParameterError();
+    }
+    inv_log_p[i] = -scale;
+  }
+  // Two uniforms per cell, drawn in one bulk fill; stream consumption is
+  // exactly 2n (no redraw loop: a zero uniform, probability 2^-53,
+  // saturates inside FastLogPositive instead — an equally far tail draw).
+  std::vector<double> u(2 * n);
+  rng.FillUniform(u.data(), 2 * n);
+  const size_t base = out->size();
+  out->resize(base + n);
+  double* dst = out->data() + base;
+  for (size_t i = 0; i < n; ++i) {
+    const double g1 = TwoSidedGeometricLeg(u[2 * i], inv_log_p[i]);
+    const double g2 = TwoSidedGeometricLeg(u[2 * i + 1], inv_log_p[i]);
+    dst[i] = static_cast<double>(cells[i].true_count) + (g1 - g2);
+  }
+  return Status::OK();
 }
 
 Result<double> GeometricMechanism::ExpectedL1Error(

@@ -22,9 +22,19 @@ class GeometricMechanism : public CountMechanism {
   std::string name() const override { return "Smooth Geometric"; }
 
   Result<double> Release(const CellQuery& cell, Rng& rng) const override;
+
+  /// Vectorized: hoists the per-cell parameter derivation (no exp/log per
+  /// parameter: the inverse transform uses 1/ln(p) = -scale directly) and
+  /// draws both geometric legs from one bulk uniform fill.
+  Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                      std::vector<double>* out) const override;
+
   Result<double> ExpectedL1Error(const CellQuery& cell) const override;
 
   /// The geometric parameter p = exp(-1/scale) used for a given cell scale.
+  /// OutOfRange when p degenerates to 1 (huge smooth sensitivity): the
+  /// sampler and the error formula are unbounded there, and the
+  /// mechanism.h contract maps unbounded values to an error status.
   Result<double> GeometricParameter(const CellQuery& cell) const;
 
  private:

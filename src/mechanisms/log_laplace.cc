@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/distributions.h"
+
 namespace eep::mechanisms {
 
 Result<LogLaplaceMechanism> LogLaplaceMechanism::Create(
@@ -29,6 +31,36 @@ Result<double> LogLaplaceMechanism::Release(const CellQuery& cell,
     released = (released + gamma_) * (1.0 - lambda_ * lambda_) - gamma_;
   }
   return released;
+}
+
+Status LogLaplaceMechanism::ReleaseBatch(const std::vector<CellQuery>& cells,
+                                         Rng& rng,
+                                         std::vector<double>* out) const {
+  const size_t n = cells.size();
+  for (const CellQuery& cell : cells) {
+    if (cell.true_count < 0) {
+      return Status::InvalidArgument("count must be >= 0");
+    }
+  }
+  EEP_ASSIGN_OR_RETURN(LaplaceDistribution noise,
+                       LaplaceDistribution::Create(lambda_));
+  const size_t base = out->size();
+  out->resize(base + n);
+  double* dst = out->data() + base;
+  noise.SampleN(rng, dst, n);
+  const double debias_factor = 1.0 - lambda_ * lambda_;
+  for (size_t i = 0; i < n; ++i) {
+    const double count = static_cast<double>(cells[i].true_count);
+    // exp(log(n+gamma) + eta) = (n+gamma)·exp(eta): the log is removable,
+    // halving the loop's libm cost (values shift at ulp scale, which the
+    // batch contract permits).
+    double released = (count + gamma_) * std::exp(dst[i]) - gamma_;
+    if (debias_) {
+      released = (released + gamma_) * debias_factor - gamma_;
+    }
+    dst[i] = released;
+  }
+  return Status::OK();
 }
 
 Result<double> LogLaplaceMechanism::SquaredRelativeErrorBound() const {

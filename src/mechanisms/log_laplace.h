@@ -45,6 +45,12 @@ class LogLaplaceMechanism : public CountMechanism {
 
   Result<double> Release(const CellQuery& cell, Rng& rng) const override;
 
+  /// Vectorized: validates all cells, fills Laplace(lambda) noise in bulk,
+  /// and hoists the debias factor; the per-cell log/exp pair is inherent
+  /// to the mechanism and stays.
+  Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                      std::vector<double>* out) const override;
+
   /// Upper bound on expected |error| from the Theorem 8.3 squared-relative-
   /// error bound via Jensen: E|err| <= (n + gamma) * sqrt(Erel_bound).
   /// Fails when lambda >= 1/2 (the bound does not apply).

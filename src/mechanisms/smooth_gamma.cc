@@ -1,5 +1,6 @@
 #include "mechanisms/smooth_gamma.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "privacy/sensitivity.h"
@@ -31,6 +32,47 @@ Result<double> SmoothGammaMechanism::Release(const CellQuery& cell,
   }
   EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
   return static_cast<double>(cell.true_count) + scale * noise_.Sample(rng);
+}
+
+Status SmoothGammaMechanism::ReleaseBatch(const std::vector<CellQuery>& cells,
+                                          Rng& rng,
+                                          std::vector<double>* out) const {
+  const size_t n = cells.size();
+  std::vector<double> scale(n);
+  const double inv_fifth_eps1 = 5.0 / eps1_;
+  const double exp_b = std::exp(eps2_ / 5.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (cells[i].true_count < 0) {
+      return Status::InvalidArgument("count must be >= 0");
+    }
+    if (cells[i].x_v < 0) return Status::InvalidArgument("x_v must be >= 0");
+    // Mirror the scalar path's SmoothSensitivity parameter checks exactly.
+    // Both can fire even though Create succeeded, because Create tests a
+    // different inequality (1+alpha < e^{eps/5}): alpha == 0 makes
+    // b = eps2/5 zero, and for some alpha the round trip
+    // exp(log1p(alpha)) rounds just below 1+alpha.
+    if (!(params_.alpha >= 0.0) || !(eps2_ / 5.0 > 0.0)) {
+      return Status::InvalidArgument("need alpha >= 0 and b > 0");
+    }
+    if (exp_b < 1.0 + params_.alpha) {
+      return Status::InvalidArgument(
+          "smooth sensitivity unbounded: e^b < 1 + alpha (Lemma 8.5)");
+    }
+    scale[i] =
+        std::max(1.0, static_cast<double>(cells[i].x_v) * params_.alpha) *
+        inv_fifth_eps1;
+  }
+  const size_t base = out->size();
+  out->resize(base + n);
+  double* dst = out->data() + base;
+  rng.FillUniform(dst, n);
+  constexpr double kMinU = 0x1.0p-53;
+  for (size_t i = 0; i < n; ++i) {
+    const double u = std::max(kMinU, dst[i]);  // Uniform() is already < 1.
+    dst[i] = static_cast<double>(cells[i].true_count) +
+             scale[i] * noise_.Quantile(u);
+  }
+  return Status::OK();
 }
 
 Result<double> SmoothGammaMechanism::ExpectedL1Error(

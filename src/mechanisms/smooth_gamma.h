@@ -34,6 +34,13 @@ class SmoothGammaMechanism : public CountMechanism {
 
   Result<double> Release(const CellQuery& cell, Rng& rng) const override;
 
+  /// Vectorized: hoists validation and noise-scale derivation, then draws
+  /// all uniforms in one fill before the (dominant) per-cell quantile
+  /// inversion. Zero uniforms are clamped instead of redrawn, so stream
+  /// consumption is exactly one draw per cell.
+  Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                      std::vector<double>* out) const override;
+
   /// Exact expected |error| = NoiseScale · E|eta| with E|eta| = sqrt(2)/2.
   Result<double> ExpectedL1Error(const CellQuery& cell) const override;
 

@@ -1,7 +1,9 @@
 #include "mechanisms/smooth_laplace.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/distributions.h"
 #include "privacy/sensitivity.h"
 
 namespace eep::mechanisms {
@@ -28,6 +30,35 @@ Result<double> SmoothLaplaceMechanism::Release(const CellQuery& cell,
   }
   EEP_ASSIGN_OR_RETURN(double scale, NoiseScale(cell));
   return static_cast<double>(cell.true_count) + scale * rng.Laplace(1.0);
+}
+
+Status SmoothLaplaceMechanism::ReleaseBatch(const std::vector<CellQuery>& cells,
+                                            Rng& rng,
+                                            std::vector<double>* out) const {
+  const size_t n = cells.size();
+  // Per-cell parameter pass: same checks and arithmetic as Release() via
+  // SmoothSensitivity, minus the invariant (alpha, b) feasibility work.
+  std::vector<double> scale(n);
+  const double inv_half_eps = 2.0 / params_.epsilon;
+  for (size_t i = 0; i < n; ++i) {
+    if (cells[i].true_count < 0) {
+      return Status::InvalidArgument("count must be >= 0");
+    }
+    if (cells[i].x_v < 0) return Status::InvalidArgument("x_v must be >= 0");
+    scale[i] =
+        std::max(1.0, static_cast<double>(cells[i].x_v) * params_.alpha) *
+        inv_half_eps;
+  }
+  EEP_ASSIGN_OR_RETURN(LaplaceDistribution unit,
+                       LaplaceDistribution::Create(1.0));
+  const size_t base = out->size();
+  out->resize(base + n);
+  double* dst = out->data() + base;
+  unit.SampleN(rng, dst, n);
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<double>(cells[i].true_count) + scale[i] * dst[i];
+  }
+  return Status::OK();
 }
 
 Result<double> SmoothLaplaceMechanism::ExpectedL1Error(

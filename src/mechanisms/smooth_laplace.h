@@ -34,6 +34,12 @@ class SmoothLaplaceMechanism : public CountMechanism {
 
   Result<double> Release(const CellQuery& cell, Rng& rng) const override;
 
+  /// Vectorized: validates every cell and derives all noise scales up
+  /// front ((alpha, b) feasibility was settled at Create, so no per-cell
+  /// exp remains), then fills unit-Laplace noise in bulk.
+  Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                      std::vector<double>* out) const override;
+
   /// Exact expected |error| = NoiseScale (E|Laplace(1)| = 1).
   Result<double> ExpectedL1Error(const CellQuery& cell) const override;
 

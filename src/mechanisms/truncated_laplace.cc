@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/distributions.h"
+
 namespace eep::mechanisms {
 
 Result<TruncatedLaplaceMechanism> TruncatedLaplaceMechanism::Create(
@@ -31,6 +33,25 @@ Result<double> TruncatedLaplaceMechanism::Release(const CellQuery& cell,
                                                   Rng& rng) const {
   EEP_ASSIGN_OR_RETURN(int64_t kept, TruncatedCount(cell));
   return static_cast<double>(kept) + rng.Laplace(scale());
+}
+
+Status TruncatedLaplaceMechanism::ReleaseBatch(
+    const std::vector<CellQuery>& cells, Rng& rng,
+    std::vector<double>* out) const {
+  const size_t n = cells.size();
+  std::vector<double> kept(n);
+  for (size_t i = 0; i < n; ++i) {
+    EEP_ASSIGN_OR_RETURN(int64_t projected, TruncatedCount(cells[i]));
+    kept[i] = static_cast<double>(projected);
+  }
+  EEP_ASSIGN_OR_RETURN(LaplaceDistribution noise,
+                       LaplaceDistribution::Create(scale()));
+  const size_t base = out->size();
+  out->resize(base + n);
+  double* dst = out->data() + base;
+  noise.SampleN(rng, dst, n);
+  for (size_t i = 0; i < n; ++i) dst[i] += kept[i];
+  return Status::OK();
 }
 
 Result<double> TruncatedLaplaceMechanism::ExpectedL1Error(

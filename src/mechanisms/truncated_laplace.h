@@ -30,6 +30,11 @@ class TruncatedLaplaceMechanism : public CountMechanism {
   /// Requires cell.contributions (the projection needs the breakdown).
   Result<double> Release(const CellQuery& cell, Rng& rng) const override;
 
+  /// Vectorized: projects every cell first, then adds one bulk
+  /// Laplace(theta/epsilon) fill.
+  Status ReleaseBatch(const std::vector<CellQuery>& cells, Rng& rng,
+                      std::vector<double>* out) const override;
+
   /// E|error| = |bias from removed establishments| + theta/epsilon.
   Result<double> ExpectedL1Error(const CellQuery& cell) const override;
 

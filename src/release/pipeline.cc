@@ -20,7 +20,6 @@ namespace {
 /// Work shared by the shard workers: everything here is read-only during
 /// the parallel phase except `rows` (disjoint slots) and the error state.
 struct ShardedRelease {
-  const lodes::LodesDataset* data = nullptr;
   const ReleaseConfig* config = nullptr;
   const lodes::MarginalQuery* query = nullptr;
   const mechanisms::CountMechanism* mechanism = nullptr;
@@ -29,6 +28,12 @@ struct ShardedRelease {
   size_t shard_size = 0;
   size_t num_shards = 0;
   std::vector<std::vector<std::string>>* rows = nullptr;
+  /// Memoized code->label table per marginal column (the dictionaries'
+  /// own value vectors). Dictionary::ValueOf allocates a fresh string and
+  /// bounds-checks per call; at paper scale that per-cell-per-column cost
+  /// masks the batched sampling, so shards copy labels straight out of
+  /// these read-only tables instead.
+  std::vector<const std::vector<std::string>*> labels;
 
   std::atomic<size_t> next_shard{0};
   std::mutex error_mu;
@@ -81,11 +86,11 @@ struct ShardedRelease {
       row.reserve(width);
       const auto codes = codec.Unpack(cells[i].key);
       for (size_t c = 0; c < codes.size(); ++c) {
-        const auto& field =
-            data->worker_full().schema().field(codec.column_indices()[c]);
-        EEP_ASSIGN_OR_RETURN(std::string value,
-                             field.dictionary->ValueOf(codes[c]));
-        row.push_back(std::move(value));
+        const std::vector<std::string>& column_labels = *labels[c];
+        if (codes[c] >= column_labels.size()) {
+          return Status::Internal("cell key code outside dictionary");
+        }
+        row.push_back(column_labels[codes[c]]);
       }
       const double value = released[i - begin];
       if (config->round_counts) {
@@ -156,7 +161,6 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
   // 64-cell-shard release would replay the first 64 draws of shard 0 of a
   // 4096-cell-shard release.
   ShardedRelease shared;
-  shared.data = &data;
   shared.config = &config;
   shared.query = &query;
   shared.mechanism = mechanism.get();
@@ -166,6 +170,13 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
   shared.num_shards =
       (query.cells().size() + shared.shard_size - 1) / shared.shard_size;
   shared.rows = &out.rows;
+  for (size_t column_index : query.codec().column_indices()) {
+    const auto& field = data.worker_full().schema().field(column_index);
+    if (field.dictionary == nullptr) {
+      return Status::Internal("marginal column has no dictionary");
+    }
+    shared.labels.push_back(&field.dictionary->values());
+  }
 
   size_t threads = config.num_threads > 0
                        ? static_cast<size_t>(config.num_threads)

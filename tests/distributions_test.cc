@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -41,6 +42,24 @@ TEST(LaplaceDistributionTest, CdfSymmetry) {
   auto d = LaplaceDistribution::Create(3.0).value();
   EXPECT_NEAR(d.Cdf(0.0), 0.5, 1e-15);
   EXPECT_NEAR(d.Cdf(-2.0) + d.Cdf(2.0), 1.0, 1e-12);
+}
+
+TEST(LaplaceDistributionTest, SampleNMatchesScalarStream) {
+  // SampleN consumes one uniform per draw through the same inverse
+  // transform as Sample; only the log implementation differs (the
+  // vectorizable FastLogPositive vs libm), so for equal rng states bulk
+  // and scalar draws agree to ulp-level precision and the generators end
+  // at the same stream position.
+  auto d = LaplaceDistribution::Create(2.5).value();
+  Rng bulk_rng(91), scalar_rng(91);
+  std::vector<double> bulk(257);
+  d.SampleN(bulk_rng, bulk.data(), bulk.size());
+  for (size_t i = 0; i < bulk.size(); ++i) {
+    const double scalar = d.Sample(scalar_rng);
+    EXPECT_NEAR(bulk[i], scalar, 1e-12 + 1e-12 * std::abs(scalar))
+        << "draw " << i;
+  }
+  EXPECT_EQ(bulk_rng.NextUint64(), scalar_rng.NextUint64());
 }
 
 TEST(LaplaceDistributionTest, SampleMoments) {
@@ -102,6 +121,27 @@ TEST(GeneralizedCauchy4Test, QuantileInvertsCdf) {
   for (double u : {0.001, 0.05, 0.3, 0.5, 0.72, 0.95, 0.999}) {
     EXPECT_NEAR(d.Cdf(d.Quantile(u)), u, 1e-10);
   }
+}
+
+TEST(GeneralizedCauchy4Test, QuantileFiniteAtExtremeU) {
+  // Regression: for u within one ulp of 1 (or 0) the computed CDF
+  // saturates strictly below u, so the bracket-expansion loops used to run
+  // hi (or lo) to +-inf, where the closed-form antiderivative evaluates
+  // inf/inf = NaN and the bisection returned inf. The quantile must stay
+  // finite over the whole open interval.
+  GeneralizedCauchy4 d;
+  const double u_hi = std::nextafter(1.0, 0.0);
+  const double z_hi = d.Quantile(u_hi);
+  ASSERT_TRUE(std::isfinite(z_hi));
+  // Tail ~ z^-3: the quantile at 1 - 1.1e-16 sits around 1e5.
+  EXPECT_GT(z_hi, 1e4);
+  EXPECT_NEAR(d.Cdf(z_hi), u_hi, 1e-12);
+
+  const double u_lo = std::nextafter(0.0, 1.0);
+  const double z_lo = d.Quantile(u_lo);
+  ASSERT_TRUE(std::isfinite(z_lo));
+  EXPECT_LT(z_lo, -1e4);
+  EXPECT_NEAR(d.Cdf(z_lo), 0.0, 1e-12);
 }
 
 TEST(GeneralizedCauchy4Test, CdfIsMonotone) {

@@ -65,5 +65,34 @@ TEST(GeometricMechanismTest, RejectsNegativeCount) {
   EXPECT_FALSE(mech.Release({-3, 0, nullptr}, rng).ok());
 }
 
+TEST(GeometricMechanismTest, DegenerateParameterIsAnErrorNotInf) {
+  // Regression: with x_v large enough that scale = alpha*x_v/(eps/2) pushes
+  // p = exp(-1/scale) to 1.0 within one ulp, GeometricParameter used to
+  // return p == 1 and ExpectedL1Error's 2p/(1-p^2) evaluated to inf (and
+  // the sampler's 1/ln(p) to -inf). The mechanism.h contract maps such
+  // unbounded values to an error status.
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  const CellQuery cell{100, int64_t{1} << 60, nullptr};
+  EXPECT_EQ(mech.GeometricParameter(cell).status().code(),
+            StatusCode::kOutOfRange);
+  Rng rng(81);
+  EXPECT_EQ(mech.Release(cell, rng).status().code(), StatusCode::kOutOfRange);
+  const auto err = mech.ExpectedL1Error(cell);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GeometricMechanismTest, HugeButBoundedParameterStaysFinite) {
+  // Just below the degenerate region the error formula must stay finite.
+  auto mech = GeometricMechanism::Create(Params(0.1, 2.0, 0.05)).value();
+  const CellQuery cell{100, int64_t{10'000'000'000'000}, nullptr};
+  const double p = mech.GeometricParameter(cell).value();
+  EXPECT_LT(p, 1.0);
+  const double err = mech.ExpectedL1Error(cell).value();
+  EXPECT_TRUE(std::isfinite(err));
+  // 2p/(1-p^2) -> scale = alpha * x_v as p -> 1.
+  EXPECT_NEAR(err, 1e12, 1e9);
+}
+
 }  // namespace
 }  // namespace eep::mechanisms

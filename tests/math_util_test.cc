@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace eep {
@@ -11,6 +12,29 @@ TEST(MathUtilTest, Clamp) {
   EXPECT_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
   EXPECT_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
   EXPECT_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(MathUtilTest, FastLogPositiveMatchesLibm) {
+  // Spot values across the callers' domain (clamped uniforms in
+  // (0, 1] and general positive normals), including both sides of the
+  // sqrt(2) mantissa split and the exact-zero case log(1) = 0.
+  EXPECT_EQ(FastLogPositive(1.0), 0.0);
+  for (double x : {1e-300, 1e-30, 1e-9, 0x1.0p-53, 0.1, 0.25, 0.5, 0.7,
+                   0.99999999, 1.0 + 1e-15, 1.3, 1.5, 2.0, 10.0, 1e10,
+                   1e300}) {
+    const double expected = std::log(x);
+    EXPECT_NEAR(FastLogPositive(x), expected,
+                1e-15 * std::max(1.0, std::abs(expected)))
+        << "x=" << x;
+  }
+  // Dense geometric sweep through (1e-6, 2): the argument-reduction and
+  // polynomial must agree with libm at ulp scale everywhere.
+  for (double x = 1e-6; x < 2.0; x *= 1.0013) {
+    const double expected = std::log(x);
+    ASSERT_NEAR(FastLogPositive(x), expected,
+                1e-15 * std::max(1.0, std::abs(expected)))
+        << "x=" << x;
+  }
 }
 
 TEST(MathUtilTest, AlmostEqual) {

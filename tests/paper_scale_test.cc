@@ -1,0 +1,60 @@
+// Paper-scale regression: generates the 1:1 LODES extract preset
+// (GeneratorConfig::PaperExtract, 10.9M jobs) and checks that the sharded
+// release pipeline stays bit-identical across thread counts at that scale.
+//
+// Minutes of CPU and gigabytes of RAM: the test body only runs when
+// EEP_SLOW_TESTS is set, and its CTest entry carries the `slow` label so
+// CI can target it with `ctest -L slow` (the Release job does); a default
+// `ctest -j` reports it as skipped in milliseconds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "lodes/generator.h"
+#include "release/pipeline.h"
+
+namespace eep {
+namespace {
+
+TEST(PaperScaleTest, PaperExtractReleasesBitIdenticallyAcrossThreads) {
+  if (std::getenv("EEP_SLOW_TESTS") == nullptr) {
+    GTEST_SKIP() << "set EEP_SLOW_TESTS=1 to run the 10.9M-job preset";
+  }
+  const lodes::GeneratorConfig config = lodes::GeneratorConfig::PaperExtract();
+  ASSERT_EQ(config.target_jobs, 10'900'000);
+  auto generated = lodes::SyntheticLodesGenerator(config).Generate();
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const lodes::LodesDataset& data = generated.value();
+  // The generator overshoots target_jobs by at most one establishment.
+  EXPECT_GE(data.num_jobs(), config.target_jobs);
+  EXPECT_LT(data.num_jobs(), config.target_jobs + config.max_estab_size);
+  // The paper's extract has ~527k establishments; the preset's size
+  // distribution should land in the same regime.
+  EXPECT_GT(data.num_establishments(), 400'000);
+  EXPECT_LT(data.num_establishments(), 700'000);
+
+  release::ReleaseConfig release_config;
+  release_config.spec = lodes::MarginalSpec::ByName("establishment").value();
+  release_config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  release_config.alpha = 0.1;
+  release_config.epsilon = 2.0;
+  release_config.delta = 0.05;
+  release_config.round_counts = false;  // Full-precision comparison.
+  release_config.shard_size = 1024;
+  release_config.num_threads = 1;
+  Rng rng1(99);
+  auto single = release::RunRelease(data, release_config, nullptr, rng1);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_GT(single.value().rows.size(), 5'000u);
+  for (int threads : {2, 4, 8}) {
+    release_config.num_threads = threads;
+    Rng rng_n(99);
+    auto parallel = release::RunRelease(data, release_config, nullptr, rng_n);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel.value().rows, single.value().rows)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace eep
