@@ -133,6 +133,37 @@ int main(int argc, char** argv) {
               num_cells,
               all_identical ? "BIT-IDENTICAL" : "DIFFER (BUG!)");
 
+  // --- Per-phase breakdown: group-by vs noise vs formatting. --------------
+  // group-by is the wall time of MarginalQuery::Compute; noise and
+  // formatting are CPU time summed across shard workers (at N threads their
+  // wall share is roughly 1/N).
+  std::printf("\n=== Release phase breakdown (ms) ===\n");
+  TextTable phase_table(
+      {"threads", "group-by", "noise", "format", "total wall"});
+  for (int threads : {1, max_threads}) {
+    config.num_threads = threads;
+    Rng rng(noise_seed);
+    release::ReleaseStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    auto released = release::RunRelease(data, config, nullptr, rng, &stats);
+    const double total_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!released.ok()) {
+      std::fprintf(stderr, "release failed: %s\n",
+                   released.status().ToString().c_str());
+      return 1;
+    }
+    phase_table.AddRow({std::to_string(threads),
+                        FormatDouble(stats.group_by_ms, 2),
+                        FormatDouble(stats.noise_ms, 2),
+                        FormatDouble(stats.format_ms, 2),
+                        FormatDouble(total_ms, 2)});
+    if (threads == max_threads) break;  // dedupe when max_threads == 1
+  }
+  phase_table.Print(std::cout);
+
   // --- Scalar vs batch sampling throughput, per mechanism. ----------------
   // Times the mechanism layer in isolation over the same cells the sweep
   // released: "scalar" forces the CountMechanism default per-cell loop,

@@ -74,6 +74,51 @@ double Antiderivative(double u) {
       (2.0 * kSqrt2);
   return log_term + atan_term;
 }
+
+// Smallest tail mass the batched inversion will chase: the mass beyond
+// |z| = 2^20 under the z^-3 tail expansion, c/(3 * (2^20)^3). The computed
+// Cdf saturates to exactly 0/1 well before that (catastrophic cancellation
+// near 1), so the clamp lives in tail-mass space — in u space, 1 - t
+// rounds straight back to 1 — keeping the Newton seed and bracket finite
+// for every u in (0, 1), and even for u = 0 or 1.
+constexpr double kMinTailMass = kNorm / 3.0 * 0x1p-60;
+
+// Inverts the CDF for v in [0.5, 1] (the non-negative half; callers map
+// u < 0.5 through the symmetry F(-z) = 1 - F(z)). Bracketed Newton: the
+// central expansion F(z) ~ 1/2 + c z underestimates the root while the
+// tail expansion 1 - F(z) ~ c/(3 z^3) overestimates it (the integrand
+// 1/(1+z^4) is below z^-4), so the two bracket the root and the seed comes
+// from whichever regime applies; every Newton step that would leave the
+// maintained bracket falls back to bisection. Converges in ~5 CDF
+// evaluations instead of the ~60 of the pure-bisection path in Quantile().
+double QuantileUpperNewton(double v) {
+  const GeneralizedCauchy4 d;
+  const double tail_mass = std::max(1.0 - v, kMinTailMass);
+  const double central = (v - 0.5) / kNorm;
+  const double tail = std::cbrt(kNorm / (3.0 * tail_mass));
+  double z = tail_mass < 0.25 ? tail : central;
+  double lo = 0.0;  // F(lo) <= v by construction (F(0) = 1/2 <= v).
+  // The root is < tail mathematically; the margin absorbs rounding.
+  double hi = std::min(2.0 * tail + 1.0, 0x1p21);
+  for (int i = 0; i < 80; ++i) {
+    const double f = d.Cdf(z) - v;
+    if (f < 0.0) {
+      lo = z;
+    } else {
+      hi = z;
+    }
+    const double step = f / d.Pdf(z);
+    double next = z - step;
+    if (!(next > lo && next < hi) || !std::isfinite(next)) {
+      next = 0.5 * (lo + hi);
+    }
+    if (std::abs(next - z) < 1e-14 * std::max(1.0, std::abs(next))) {
+      return next;
+    }
+    z = next;
+  }
+  return z;
+}
 }  // namespace
 
 double GeneralizedCauchy4::Pdf(double z) const {
@@ -123,6 +168,15 @@ double GeneralizedCauchy4::Quantile(double u) const {
     z -= step;
   }
   return z;
+}
+
+void GeneralizedCauchy4::QuantileN(const double* u, double* out,
+                                   size_t n) const {
+  for (size_t i = 0; i < n; ++i) {
+    const double ui = u[i];
+    out[i] = ui >= 0.5 ? QuantileUpperNewton(ui)
+                       : -QuantileUpperNewton(1.0 - ui);
+  }
 }
 
 double GeneralizedCauchy4::Sample(Rng& rng) const {

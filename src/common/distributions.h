@@ -72,6 +72,18 @@ class GeneralizedCauchy4 {
   /// range of Cdf (which saturates just below 1 in floating point), so the
   /// result is finite for every u in (0, 1).
   double Quantile(double u) const;
+  /// Batched inverse CDF: out[i] = Quantile(u[i]) for i in [0, n), via a
+  /// bracketed Newton hybrid seeded from the central/tail expansions of
+  /// the CDF — ~5 CDF evaluations per element instead of the ~60 of the
+  /// bisection path, which dominates Smooth Gamma's batch sampling.
+  /// Wherever the inversion is numerically well-conditioned the result
+  /// satisfies Cdf(out[i]) = u[i] to ~1e-10 and matches Quantile(); in the
+  /// extreme tails (u within ~1e-13 of 0 or 1, where the computed CDF
+  /// saturates) both paths return finite quantiles beyond |z| ~ 1e4 whose
+  /// exact values may differ. The chased tail mass is floored at the mass
+  /// beyond |z| = 2^20, so the result is finite for every u in [0, 1].
+  /// In-place use (out == u) is allowed.
+  void QuantileN(const double* u, double* out, size_t n) const;
   /// One draw via inverse transform.
   double Sample(Rng& rng) const;
   /// E|Z| = √2/2.

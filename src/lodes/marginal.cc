@@ -62,13 +62,15 @@ Status MarginalSpec::Validate() const {
 }
 
 Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
-                                             const MarginalSpec& spec) {
+                                             const MarginalSpec& spec,
+                                             int num_threads) {
   EEP_RETURN_NOT_OK(spec.Validate());
 
+  const table::GroupByOptions group_by_options{num_threads};
   EEP_ASSIGN_OR_RETURN(
       table::GroupedCounts grouped,
       table::GroupCountByEstablishment(data.worker_full(), spec.AllColumns(),
-                                       kColEstabId));
+                                       kColEstabId, group_by_options));
 
   MarginalQuery query(&data, spec, std::move(grouped));
 
@@ -81,12 +83,24 @@ Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
   }
   query.worker_domain_size_ = worker_domain;
 
-  // Index of `place` within the workplace attrs (for stratification).
+  // Index of `place` within the workplace attrs (for stratification). The
+  // place code of a cell is a digit of the packed workplace key, so it is
+  // extracted arithmetically: divide away the radices packed after it,
+  // then reduce by its own radix.
   int place_slot = -1;
   for (size_t i = 0; i < spec.workplace_attrs.size(); ++i) {
     if (spec.workplace_attrs[i] == kColPlace) {
       place_slot = static_cast<int>(i);
     }
+  }
+  uint64_t place_div = 1;
+  uint64_t place_radix = 1;
+  if (place_slot >= 0) {
+    for (size_t i = static_cast<size_t>(place_slot) + 1; i < n_workplace;
+         ++i) {
+      place_div *= radices[i];
+    }
+    place_radix = radices[static_cast<size_t>(place_slot)];
   }
 
   // Which workplace-attribute combinations exist (public knowledge): group
@@ -100,28 +114,37 @@ Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
         table::GroupKeyCodec wcodec,
         table::GroupKeyCodec::Create(data.workplaces().schema(),
                                      spec.workplace_attrs));
-    EEP_ASSIGN_OR_RETURN(auto wcounts,
-                         table::GroupCount(data.workplaces(), wcodec));
+    EEP_ASSIGN_OR_RETURN(
+        auto wcounts,
+        table::GroupCount(data.workplaces(), wcodec, group_by_options));
     present_wkeys.reserve(wcounts.size());
     for (const auto& [key, n] : wcounts) present_wkeys.push_back(key);
-    std::sort(present_wkeys.begin(), present_wkeys.end());
   }
 
+  // Domain enumeration visits keys in increasing order (present_wkeys is
+  // sorted, worker keys nest inside), and the grouped cells are key-sorted,
+  // so one merge cursor replaces the per-cell binary search.
+  const auto& gcells = query.grouped_.cells;
+  size_t gi = 0;
   query.cells_.reserve(present_wkeys.size() *
                        static_cast<size_t>(worker_domain));
   for (uint64_t wkey : present_wkeys) {
+    const uint32_t place_code =
+        place_slot >= 0
+            ? static_cast<uint32_t>((wkey / place_div) % place_radix)
+            : kNoPlace;
     for (int64_t ikey = 0; ikey < worker_domain; ++ikey) {
       MarginalCell cell;
       cell.key = wkey * static_cast<uint64_t>(worker_domain) +
                  static_cast<uint64_t>(ikey);
-      if (const table::GroupedCell* g = query.grouped_.Find(cell.key)) {
-        cell.count = g->count;
-        cell.x_v = g->MaxEstabContribution();
-        cell.num_estabs = g->NumEstablishments();
+      while (gi < gcells.size() && gcells[gi].key < cell.key) ++gi;
+      if (gi < gcells.size() && gcells[gi].key == cell.key) {
+        const table::GroupedCell& g = gcells[gi];
+        cell.count = g.count;
+        cell.x_v = g.MaxEstabContribution();
+        cell.num_estabs = g.NumEstablishments();
       }
-      if (place_slot >= 0) {
-        cell.place_code = query.grouped_.codec.Unpack(cell.key)[place_slot];
-      }
+      cell.place_code = place_code;
       query.cells_.push_back(cell);
     }
   }

@@ -74,9 +74,14 @@ struct MarginalCell {
 /// sensitivity mechanisms need.
 class MarginalQuery {
  public:
-  /// Executes the marginal over data.worker_full().
+  /// Executes the marginal over data.worker_full(). The group-by runs on
+  /// the parallel columnar engine with `num_threads` workers (<= 0 means
+  /// hardware concurrency); the result is bit-identical for every thread
+  /// count, and the domain-enumeration pass is a merge join over the
+  /// key-sorted grouped cells (no per-cell binary search or unpacking).
   static Result<MarginalQuery> Compute(const LodesDataset& data,
-                                       const MarginalSpec& spec);
+                                       const MarginalSpec& spec,
+                                       int num_threads = 1);
 
   const MarginalSpec& spec() const { return spec_; }
   const table::GroupKeyCodec& codec() const { return grouped_.codec; }

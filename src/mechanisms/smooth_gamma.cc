@@ -68,9 +68,11 @@ Status SmoothGammaMechanism::ReleaseBatch(const std::vector<CellQuery>& cells,
   rng.FillUniform(dst, n);
   constexpr double kMinU = 0x1.0p-53;
   for (size_t i = 0; i < n; ++i) {
-    const double u = std::max(kMinU, dst[i]);  // Uniform() is already < 1.
-    dst[i] = static_cast<double>(cells[i].true_count) +
-             scale[i] * noise_.Quantile(u);
+    dst[i] = std::max(kMinU, dst[i]);  // Uniform() is already < 1.
+  }
+  noise_.QuantileN(dst, dst, n);
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<double>(cells[i].true_count) + scale[i] * dst[i];
   }
   return Status::OK();
 }

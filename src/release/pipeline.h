@@ -31,10 +31,12 @@ struct ReleaseConfig {
   bool round_counts = true;
   /// Label for the accountant ledger.
   std::string description = "marginal release";
-  /// Worker threads for the per-cell noise loop. Cells are split into
-  /// shards and every shard draws from its own substream of the caller's
-  /// rng, so the released table is bit-identical for ANY thread count
-  /// (including 1); <= 0 means std::thread::hardware_concurrency().
+  /// Worker threads for the whole release: the columnar group-by behind
+  /// MarginalQuery::Compute and the per-cell noise loop both shard across
+  /// this many workers. Every noise shard draws from its own substream of
+  /// the caller's rng and the group-by is sort-based, so the released
+  /// table is bit-identical for ANY thread count (including 1); <= 0 means
+  /// std::thread::hardware_concurrency().
   int num_threads = 1;
   /// Cells per shard. Part of the noise-stream derivation: changing it
   /// changes the released noise (like changing the seed), while the thread
@@ -52,13 +54,25 @@ struct ReleasedTable {
   Status WriteCsv(const std::string& path) const;
 };
 
+/// \brief Phase breakdown of one RunRelease call, for benchmarking.
+struct ReleaseStats {
+  /// Wall time of MarginalQuery::Compute (the group-by stage).
+  double group_by_ms = 0.0;
+  /// Batch assembly + mechanism sampling, summed across shard workers
+  /// (CPU time: with N threads the wall share is roughly 1/N of this).
+  double noise_ms = 0.0;
+  /// Label lookup + row formatting, summed across shard workers.
+  double format_ms = 0.0;
+};
+
 /// Runs one release. The accountant enforces the composition rules: the
 /// charge is epsilon for establishment-only marginals and d x epsilon for
-/// marginals containing worker attributes under the weak model.
+/// marginals containing worker attributes under the weak model. When
+/// `stats` is non-null it receives the per-phase timing breakdown.
 Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
                                  const ReleaseConfig& config,
                                  privacy::PrivacyAccountant* accountant,
-                                 Rng& rng);
+                                 Rng& rng, ReleaseStats* stats = nullptr);
 
 }  // namespace eep::release
 

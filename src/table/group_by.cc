@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "table/partitioned_group_by.h"
+
 namespace eep::table {
 
 Result<GroupKeyCodec> GroupKeyCodec::Create(
@@ -91,7 +93,7 @@ const GroupedCell* GroupedCounts::Find(uint64_t key) const {
 
 Result<GroupedCounts> GroupCountByEstablishment(
     const Table& table, const std::vector<std::string>& group_columns,
-    const std::string& estab_id_column) {
+    const std::string& estab_id_column, const GroupByOptions& options) {
   EEP_ASSIGN_OR_RETURN(GroupKeyCodec codec,
                        GroupKeyCodec::Create(table.schema(), group_columns));
   EEP_ASSIGN_OR_RETURN(const Column* estab_col,
@@ -99,77 +101,39 @@ Result<GroupedCounts> GroupCountByEstablishment(
   EEP_ASSIGN_OR_RETURN(const std::vector<int64_t>* estab_ids,
                        estab_col->AsInt64());
 
-  // Gather raw code views once; the row loop then touches plain vectors.
-  std::vector<const std::vector<uint32_t>*> code_views;
-  code_views.reserve(codec.column_indices().size());
-  for (size_t idx : codec.column_indices()) {
-    code_views.push_back(&table.column(idx).codes());
-  }
-
-  // Pass 1: count per (cell, establishment).
-  struct PairHash {
-    size_t operator()(const std::pair<uint64_t, int64_t>& p) const {
-      // Mix the two halves; both are well-distributed already.
-      return std::hash<uint64_t>()(p.first * 0x9E3779B97F4A7C15ULL ^
-                                   static_cast<uint64_t>(p.second));
-    }
-  };
-  std::unordered_map<std::pair<uint64_t, int64_t>, int64_t, PairHash>
-      pair_counts;
-  pair_counts.reserve(table.num_rows());
-
-  std::vector<uint32_t> codes(code_views.size());
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    for (size_t c = 0; c < code_views.size(); ++c) {
-      codes[c] = (*code_views[c])[row];
-    }
-    const uint64_t key = codec.Pack(codes);
-    ++pair_counts[{key, (*estab_ids)[row]}];
-  }
-
-  // Pass 2: fold into per-cell structures.
-  std::unordered_map<uint64_t, GroupedCell> cells;
-  for (const auto& [pair, count] : pair_counts) {
-    GroupedCell& cell = cells[pair.first];
-    cell.key = pair.first;
-    cell.count += count;
-    cell.contributions.push_back({pair.second, count});
-  }
-
+  std::vector<uint64_t> keys =
+      MaterializeGroupKeys(table, codec, options.num_threads);
+  const uint64_t domain = codec.DomainSize();
   GroupedCounts result{std::move(codec), {}};
-  result.cells.reserve(cells.size());
-  for (auto& [key, cell] : cells) {
-    std::sort(cell.contributions.begin(), cell.contributions.end(),
-              [](const EstabContribution& a, const EstabContribution& b) {
-                return a.estab_id < b.estab_id;
-              });
-    result.cells.push_back(std::move(cell));
-  }
-  std::sort(result.cells.begin(), result.cells.end(),
-            [](const GroupedCell& a, const GroupedCell& b) {
-              return a.key < b.key;
-            });
+  result.cells = AggregateByKeyAndEstab(std::move(keys), *estab_ids, domain,
+                                        options.num_threads);
   return result;
 }
 
-Result<std::unordered_map<uint64_t, int64_t>> GroupCount(
-    const Table& table, const GroupKeyCodec& codec) {
-  std::vector<const std::vector<uint32_t>*> code_views;
-  for (size_t idx : codec.column_indices()) {
+Result<std::vector<std::pair<uint64_t, int64_t>>> GroupCount(
+    const Table& table, const GroupKeyCodec& codec,
+    const GroupByOptions& options) {
+  // The codec may come from a different schema; check it fits this table
+  // before the engine relies on its keys[i] < DomainSize() precondition.
+  for (size_t i = 0; i < codec.column_indices().size(); ++i) {
+    const size_t idx = codec.column_indices()[i];
     if (idx >= table.num_columns()) {
       return Status::OutOfRange("codec column index outside table");
     }
-    code_views.push_back(&table.column(idx).codes());
-  }
-  std::unordered_map<uint64_t, int64_t> counts;
-  std::vector<uint32_t> codes(code_views.size());
-  for (size_t row = 0; row < table.num_rows(); ++row) {
-    for (size_t c = 0; c < code_views.size(); ++c) {
-      codes[c] = (*code_views[c])[row];
+    const Field& field = table.schema().field(idx);
+    if (field.type != DataType::kCategory || field.dictionary == nullptr) {
+      return Status::InvalidArgument(
+          "codec column is not categorical in this table");
     }
-    ++counts[codec.Pack(codes)];
+    if (field.dictionary->size() > codec.radices()[i]) {
+      return Status::InvalidArgument(
+          "codec radix smaller than the table column's dictionary");
+    }
   }
-  return counts;
+  std::vector<uint64_t> keys =
+      MaterializeGroupKeys(table, codec, options.num_threads);
+  return AggregateByKey(std::move(keys), codec.DomainSize(),
+                        options.num_threads);
 }
 
 }  // namespace eep::table

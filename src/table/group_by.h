@@ -5,7 +5,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -46,6 +46,15 @@ class GroupKeyCodec {
   std::vector<uint32_t> radices_;
 };
 
+/// \brief Execution options for the group-by entry points.
+struct GroupByOptions {
+  /// Worker threads for key materialization, partitioning and per-partition
+  /// aggregation; <= 0 means std::thread::hardware_concurrency(). The
+  /// result is bit-identical for every thread count (the engine is
+  /// sort-based; see partitioned_group_by.h for the determinism contract).
+  int num_threads = 1;
+};
+
 /// \brief Per-establishment contribution to one group-by cell.
 struct EstabContribution {
   int64_t estab_id = 0;
@@ -80,14 +89,19 @@ struct GroupedCounts {
 /// Counts rows per cell of the cross product of `group_columns`, tracking
 /// per-establishment contributions via the int64 column `estab_id_column`.
 /// Only non-empty cells are materialized; callers that need the full domain
-/// enumerate via the codec (see lodes::MarginalQuery).
+/// enumerate via the codec (see lodes::MarginalQuery). Executed by the
+/// parallel columnar engine in partitioned_group_by.h: columnwise key
+/// packing, range partitioning by key, per-partition sort-and-run-length
+/// aggregation across options.num_threads workers.
 Result<GroupedCounts> GroupCountByEstablishment(
     const Table& table, const std::vector<std::string>& group_columns,
-    const std::string& estab_id_column);
+    const std::string& estab_id_column, const GroupByOptions& options = {});
 
-/// Plain per-cell row counts without establishment tracking.
-Result<std::unordered_map<uint64_t, int64_t>> GroupCount(
-    const Table& table, const GroupKeyCodec& codec);
+/// Plain per-cell row counts without establishment tracking: (key, count)
+/// pairs of the non-empty cells, sorted by key.
+Result<std::vector<std::pair<uint64_t, int64_t>>> GroupCount(
+    const Table& table, const GroupKeyCodec& codec,
+    const GroupByOptions& options = {});
 
 }  // namespace eep::table
 

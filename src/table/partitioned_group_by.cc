@@ -1,0 +1,446 @@
+#include "table/partitioned_group_by.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <iterator>
+#include <limits>
+#include <thread>
+
+namespace eep::table {
+namespace {
+
+// Rows per partition the planner aims for: small enough that a partition's
+// working set stays cache-resident while it is sorted, large enough that
+// per-partition overhead amortizes.
+constexpr size_t kTargetPartitionRows = size_t{1} << 16;
+constexpr size_t kMaxPartitions = 1024;
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// Runs fn(worker_index) on `threads` workers; the caller is worker 0.
+template <typename Fn>
+void RunWorkers(int threads, Fn&& fn) {
+  if (threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads) - 1);
+  for (int w = 1; w < threads; ++w) pool.emplace_back([&fn, w] { fn(w); });
+  fn(0);
+  for (auto& t : pool) t.join();
+}
+
+int BitWidth(uint64_t v) { return v == 0 ? 0 : 64 - __builtin_clzll(v); }
+
+struct PartitionPlan {
+  int threads = 1;
+  /// Keys are range-partitioned by their high bits: p = key >> shift.
+  /// Every partition holds a contiguous key range, which is what makes
+  /// concatenating sorted partitions globally sorted — and the shift makes
+  /// the per-row partition function one instruction.
+  int shift = 0;
+  size_t num_partitions = 1;
+  size_t block_size = 0;  // rows per worker block
+};
+
+// The plan affects only execution, never the result: the aggregate of each
+// key range is a function of its row multiset, so any (threads, partitions)
+// choice concatenates to the same output.
+PartitionPlan PlanFor(size_t n, uint64_t domain, int num_threads) {
+  PartitionPlan plan;
+  plan.threads = ResolveThreads(num_threads);
+  const size_t target =
+      std::min(kMaxPartitions,
+               std::max<size_t>(n / kTargetPartitionRows + 1,
+                                static_cast<size_t>(plan.threads)));
+  const int key_bits = BitWidth(domain - 1);
+  const int partition_bits = BitWidth(target - 1);
+  // Cap at 63: a 64-bit shift is UB, and for 64-bit key domains a shift of
+  // 63 still leaves at most two partitions.
+  plan.shift = std::min(63, std::max(0, key_bits - partition_bits));
+  plan.num_partitions = ((domain - 1) >> plan.shift) + 1;
+  plan.block_size = (n + static_cast<size_t>(plan.threads) - 1) /
+                    static_cast<size_t>(plan.threads);
+  return plan;
+}
+
+/// One worker block's run-compressed rows: consecutive rows with the same
+/// (key, estab) collapse into one weighted item. Real LODES extracts are
+/// clustered by employer — every row of an establishment shares its
+/// workplace attributes — so this typically shrinks the sort input by an
+/// order of magnitude; in the worst case (fully shuffled rows) it degrades
+/// to one item per row for the cost of one predictable compare per row.
+/// Splitting a run at a block boundary only splits its weight, and the
+/// per-partition aggregation sums weights per pair, so the final result is
+/// independent of the block layout (= thread count).
+struct CompressedBlock {
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> estabs;
+  std::vector<int64_t> weights;
+  std::vector<size_t> hist;  // items per partition
+  int64_t min_estab = std::numeric_limits<int64_t>::max();
+  int64_t max_estab = std::numeric_limits<int64_t>::min();
+};
+
+// LSD radix sort of vals[0..n) restricted to the low `used_bytes` bytes
+// (the caller knows how many carry bits), additionally skipping bytes on
+// which all values agree — e.g. high key bytes shared by a whole
+// partition. weights[i] travels with vals[i].
+void RadixSortWithWeights(uint64_t* vals, int64_t* weights, size_t n,
+                          int used_bytes, std::vector<uint64_t>& val_scratch,
+                          std::vector<int64_t>& weight_scratch) {
+  if (n < 128) {
+    std::vector<std::pair<uint64_t, int64_t>> tmp(n);
+    for (size_t i = 0; i < n; ++i) tmp[i] = {vals[i], weights[i]};
+    std::sort(tmp.begin(), tmp.end(),
+              [](const std::pair<uint64_t, int64_t>& a,
+                 const std::pair<uint64_t, int64_t>& b) {
+                return a.first < b.first;
+              });
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = tmp[i].first;
+      weights[i] = tmp[i].second;
+    }
+    return;
+  }
+  size_t hist[8][256] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t x = vals[i];
+    for (int b = 0; b < used_bytes; ++b) ++hist[b][(x >> (8 * b)) & 0xff];
+  }
+  if (val_scratch.size() < n) val_scratch.resize(n);
+  if (weight_scratch.size() < n) weight_scratch.resize(n);
+  uint64_t* vsrc = vals;
+  uint64_t* vdst = val_scratch.data();
+  int64_t* wsrc = weights;
+  int64_t* wdst = weight_scratch.data();
+  for (int b = 0; b < used_bytes; ++b) {
+    // vsrc holds a permutation of the original values, so testing vsrc[0]'s
+    // bucket against n detects a constant byte.
+    if (hist[b][(vsrc[0] >> (8 * b)) & 0xff] == n) continue;
+    size_t offsets[256];
+    size_t run = 0;
+    for (int d = 0; d < 256; ++d) {
+      offsets[d] = run;
+      run += hist[b][d];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = offsets[(vsrc[i] >> (8 * b)) & 0xff]++;
+      vdst[slot] = vsrc[i];
+      wdst[slot] = wsrc[i];
+    }
+    std::swap(vsrc, vdst);
+    std::swap(wsrc, wdst);
+  }
+  if (vsrc != vals) {
+    std::memcpy(vals, vsrc, n * sizeof(uint64_t));
+    std::memcpy(weights, wsrc, n * sizeof(int64_t));
+  }
+}
+
+// Sorted weighted packed (key << estab_bits | estab) items -> cells, one
+// per key run, with contributions in estab order (inherited from the sort)
+// and counts as weight sums.
+void RlePacked(const uint64_t* vals, const int64_t* weights, size_t n,
+               int estab_bits, std::vector<GroupedCell>* out) {
+  const uint64_t mask =
+      estab_bits == 0 ? 0 : (~uint64_t{0} >> (64 - estab_bits));
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t key = vals[i] >> estab_bits;
+    GroupedCell cell;
+    cell.key = key;
+    while (i < n && (vals[i] >> estab_bits) == key) {
+      const uint64_t packed = vals[i];
+      int64_t weight = weights[i];
+      size_t j = i + 1;
+      while (j < n && vals[j] == packed) weight += weights[j++];
+      cell.contributions.push_back(
+          {static_cast<int64_t>(packed & mask), weight});
+      cell.count += weight;
+      i = j;
+    }
+    out->push_back(std::move(cell));
+  }
+}
+
+struct KeyEstabWeight {
+  uint64_t key;
+  int64_t estab;
+  int64_t weight;
+};
+
+void RleTriples(const KeyEstabWeight* v, size_t n,
+                std::vector<GroupedCell>* out) {
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t key = v[i].key;
+    GroupedCell cell;
+    cell.key = key;
+    while (i < n && v[i].key == key) {
+      const int64_t estab = v[i].estab;
+      int64_t weight = v[i].weight;
+      size_t j = i + 1;
+      while (j < n && v[j].key == key && v[j].estab == estab) {
+        weight += v[j++].weight;
+      }
+      cell.contributions.push_back({estab, weight});
+      cell.count += weight;
+      i = j;
+    }
+    out->push_back(std::move(cell));
+  }
+}
+
+std::vector<GroupedCell> ConcatPartitions(
+    std::vector<std::vector<GroupedCell>> per_partition) {
+  size_t total = 0;
+  for (const auto& cells : per_partition) total += cells.size();
+  std::vector<GroupedCell> result;
+  result.reserve(total);
+  for (auto& cells : per_partition) {
+    std::move(cells.begin(), cells.end(), std::back_inserter(result));
+  }
+  return result;
+}
+
+// Converts per-block item histograms into scatter cursors (partition-major,
+// block-minor) so every (block, partition) writes a disjoint slice of the
+// scattered arrays. Returns partition start offsets (size P + 1).
+std::vector<size_t> CursorsFromHists(std::vector<CompressedBlock>* blocks,
+                                     size_t num_partitions) {
+  std::vector<size_t> starts(num_partitions + 1, 0);
+  size_t run = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    starts[p] = run;
+    for (auto& block : *blocks) {
+      const size_t count = block.hist[p];
+      block.hist[p] = run;
+      run += count;
+    }
+  }
+  starts[num_partitions] = run;
+  return starts;
+}
+
+}  // namespace
+
+std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
+                                           const GroupKeyCodec& codec,
+                                           int num_threads) {
+  const size_t n = table.num_rows();
+  std::vector<uint64_t> keys(n);
+  if (n == 0) return keys;
+  std::vector<const uint32_t*> columns;
+  columns.reserve(codec.column_indices().size());
+  for (size_t idx : codec.column_indices()) {
+    columns.push_back(table.column(idx).codes().data());
+  }
+  const auto& radices = codec.radices();
+  const int threads = ResolveThreads(num_threads);
+  const size_t block =
+      (n + static_cast<size_t>(threads) - 1) / static_cast<size_t>(threads);
+  RunWorkers(threads, [&](int w) {
+    const size_t begin = static_cast<size_t>(w) * block;
+    const size_t end = std::min(n, begin + block);
+    if (begin >= end) return;
+    const uint32_t* c0 = columns[0];
+    for (size_t i = begin; i < end; ++i) keys[i] = c0[i];
+    for (size_t c = 1; c < columns.size(); ++c) {
+      const uint64_t radix = radices[c];
+      const uint32_t* cc = columns[c];
+      for (size_t i = begin; i < end; ++i) keys[i] = keys[i] * radix + cc[i];
+    }
+  });
+  return keys;
+}
+
+std::vector<GroupedCell> AggregateByKeyAndEstab(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
+    uint64_t domain_size, int num_threads) {
+  assert(estab_ids.size() == keys.size());
+  assert(domain_size > 0);
+  const size_t n = keys.size();
+  if (n == 0) return {};
+  const PartitionPlan plan = PlanFor(n, domain_size, num_threads);
+  const size_t P = plan.num_partitions;
+
+  // Phase 1: per-block run compression + partition histogram + estab range.
+  std::vector<CompressedBlock> blocks(static_cast<size_t>(plan.threads));
+  RunWorkers(plan.threads, [&](int w) {
+    const size_t begin = static_cast<size_t>(w) * plan.block_size;
+    const size_t end = std::min(n, begin + plan.block_size);
+    CompressedBlock& block = blocks[static_cast<size_t>(w)];
+    block.hist.assign(P, 0);
+    size_t i = begin;
+    while (i < end) {
+      const uint64_t key = keys[i];
+      const int64_t estab = estab_ids[i];
+      size_t j = i + 1;
+      while (j < end && keys[j] == key && estab_ids[j] == estab) ++j;
+      block.keys.push_back(key);
+      block.estabs.push_back(estab);
+      block.weights.push_back(static_cast<int64_t>(j - i));
+      ++block.hist[key >> plan.shift];
+      block.min_estab = std::min(block.min_estab, estab);
+      block.max_estab = std::max(block.max_estab, estab);
+      i = j;
+    }
+  });
+  keys = {};
+  int64_t min_estab = std::numeric_limits<int64_t>::max();
+  int64_t max_estab = std::numeric_limits<int64_t>::min();
+  for (const auto& block : blocks) {
+    min_estab = std::min(min_estab, block.min_estab);
+    max_estab = std::max(max_estab, block.max_estab);
+  }
+  const std::vector<size_t> starts = CursorsFromHists(&blocks, P);
+  const size_t items = starts[P];
+
+  // Non-negative establishment ids whose bits fit next to the key bits
+  // pack into one radix-sortable uint64; anything else takes the 24-byte
+  // comparison-sort fallback.
+  const int key_bits = BitWidth(domain_size - 1);
+  const int estab_bits =
+      BitWidth(static_cast<uint64_t>(std::max<int64_t>(max_estab, 0)));
+  const bool packable = min_estab >= 0 && key_bits + estab_bits <= 64;
+  const int packed_bytes = (key_bits + estab_bits + 7) / 8;
+
+  std::vector<std::vector<GroupedCell>> per_partition(P);
+  std::atomic<size_t> next{0};
+
+  if (packable) {
+    // Phase 2: scatter weighted packed items into partition order.
+    std::vector<uint64_t> vals(items);
+    std::vector<int64_t> weights(items);
+    RunWorkers(plan.threads, [&](int w) {
+      CompressedBlock& block = blocks[static_cast<size_t>(w)];
+      for (size_t i = 0; i < block.keys.size(); ++i) {
+        const uint64_t key = block.keys[i];
+        const size_t slot = block.hist[key >> plan.shift]++;
+        vals[slot] =
+            (key << estab_bits) | static_cast<uint64_t>(block.estabs[i]);
+        weights[slot] = block.weights[i];
+      }
+      block = CompressedBlock{};
+    });
+    // Phase 3: per-partition sort + weighted run-length aggregation.
+    RunWorkers(plan.threads, [&](int) {
+      std::vector<uint64_t> val_scratch;
+      std::vector<int64_t> weight_scratch;
+      for (size_t p = next.fetch_add(1); p < P; p = next.fetch_add(1)) {
+        const size_t m = starts[p + 1] - starts[p];
+        RadixSortWithWeights(vals.data() + starts[p],
+                             weights.data() + starts[p], m, packed_bytes,
+                             val_scratch, weight_scratch);
+        RlePacked(vals.data() + starts[p], weights.data() + starts[p], m,
+                  estab_bits, &per_partition[p]);
+      }
+    });
+  } else {
+    std::vector<KeyEstabWeight> scattered(items);
+    RunWorkers(plan.threads, [&](int w) {
+      CompressedBlock& block = blocks[static_cast<size_t>(w)];
+      for (size_t i = 0; i < block.keys.size(); ++i) {
+        const size_t slot = block.hist[block.keys[i] >> plan.shift]++;
+        scattered[slot] = {block.keys[i], block.estabs[i], block.weights[i]};
+      }
+      block = CompressedBlock{};
+    });
+    RunWorkers(plan.threads, [&](int) {
+      for (size_t p = next.fetch_add(1); p < P; p = next.fetch_add(1)) {
+        KeyEstabWeight* v = scattered.data() + starts[p];
+        const size_t m = starts[p + 1] - starts[p];
+        std::sort(v, v + m,
+                  [](const KeyEstabWeight& a, const KeyEstabWeight& b) {
+                    return a.key != b.key ? a.key < b.key
+                                          : a.estab < b.estab;
+                  });
+        RleTriples(v, m, &per_partition[p]);
+      }
+    });
+  }
+  return ConcatPartitions(std::move(per_partition));
+}
+
+std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
+    std::vector<uint64_t> keys, uint64_t domain_size, int num_threads) {
+  assert(domain_size > 0);
+  const size_t n = keys.size();
+  if (n == 0) return {};
+  const PartitionPlan plan = PlanFor(n, domain_size, num_threads);
+  const size_t P = plan.num_partitions;
+  const int key_bytes = (BitWidth(domain_size - 1) + 7) / 8;
+
+  std::vector<CompressedBlock> blocks(static_cast<size_t>(plan.threads));
+  RunWorkers(plan.threads, [&](int w) {
+    const size_t begin = static_cast<size_t>(w) * plan.block_size;
+    const size_t end = std::min(n, begin + plan.block_size);
+    CompressedBlock& block = blocks[static_cast<size_t>(w)];
+    block.hist.assign(P, 0);
+    size_t i = begin;
+    while (i < end) {
+      const uint64_t key = keys[i];
+      size_t j = i + 1;
+      while (j < end && keys[j] == key) ++j;
+      block.keys.push_back(key);
+      block.weights.push_back(static_cast<int64_t>(j - i));
+      ++block.hist[key >> plan.shift];
+      i = j;
+    }
+  });
+  keys = {};
+  const std::vector<size_t> starts = CursorsFromHists(&blocks, P);
+  const size_t items = starts[P];
+
+  std::vector<uint64_t> vals(items);
+  std::vector<int64_t> weights(items);
+  RunWorkers(plan.threads, [&](int w) {
+    CompressedBlock& block = blocks[static_cast<size_t>(w)];
+    for (size_t i = 0; i < block.keys.size(); ++i) {
+      const size_t slot = block.hist[block.keys[i] >> plan.shift]++;
+      vals[slot] = block.keys[i];
+      weights[slot] = block.weights[i];
+    }
+    block = CompressedBlock{};
+  });
+
+  std::vector<std::vector<std::pair<uint64_t, int64_t>>> per_partition(P);
+  std::atomic<size_t> next{0};
+  RunWorkers(plan.threads, [&](int) {
+    std::vector<uint64_t> val_scratch;
+    std::vector<int64_t> weight_scratch;
+    for (size_t p = next.fetch_add(1); p < P; p = next.fetch_add(1)) {
+      uint64_t* v = vals.data() + starts[p];
+      int64_t* wt = weights.data() + starts[p];
+      const size_t m = starts[p + 1] - starts[p];
+      RadixSortWithWeights(v, wt, m, key_bytes, val_scratch, weight_scratch);
+      auto& out = per_partition[p];
+      size_t i = 0;
+      while (i < m) {
+        const uint64_t key = v[i];
+        int64_t count = wt[i];
+        size_t j = i + 1;
+        while (j < m && v[j] == key) count += wt[j++];
+        out.emplace_back(key, count);
+        i = j;
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& runs : per_partition) total += runs.size();
+  std::vector<std::pair<uint64_t, int64_t>> result;
+  result.reserve(total);
+  for (auto& runs : per_partition) {
+    result.insert(result.end(), runs.begin(), runs.end());
+  }
+  return result;
+}
+
+}  // namespace eep::table

@@ -1,0 +1,59 @@
+// Parallel partitioned aggregation: the execution engine behind the
+// group-by entry points in group_by.h.
+//
+// The pipeline is columnar and sort-based instead of hash-based:
+//
+//   1. MaterializeGroupKeys packs every row's group key with one contiguous
+//      loop per group column (auto-vectorizable; no per-row gather).
+//   2. Aggregate* range-partitions the rows by key (partition p holds keys
+//      in [p, p+1) * domain/P), sorts each partition — as packed
+//      (key, estab) uint64s through an LSD radix sort when they fit in one
+//      word, as (key, estab) pairs through std::sort otherwise — and
+//      run-length aggregates the sorted runs.
+//   3. Partitions concatenate in order, so the result is globally
+//      key-sorted without a merge.
+//
+// Determinism contract: the output depends only on the multiset of input
+// rows — range partitioning preserves key order across partitions and the
+// per-partition result is a function of the partition's multiset alone —
+// so it is bit-identical for every thread count and partition count. The
+// release pipeline's cross-thread-count reproducibility guarantee relies
+// on this.
+#ifndef EEP_TABLE_PARTITIONED_GROUP_BY_H_
+#define EEP_TABLE_PARTITIONED_GROUP_BY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "table/group_by.h"
+#include "table/table.h"
+
+namespace eep::table {
+
+/// Columnwise fused key packing: keys[row] = codec.Pack(codes of row),
+/// computed as one contiguous multiply-add sweep per group column.
+/// `codec` must have been created against `table`'s schema. Splits the row
+/// range across `num_threads` workers (<= 0 means hardware concurrency);
+/// the result is identical for every thread count.
+std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
+                                           const GroupKeyCodec& codec,
+                                           int num_threads);
+
+/// Aggregates (keys[i], estab_ids[i]) pairs into key-sorted cells with
+/// estab-sorted contribution lists. Requires keys[i] < domain_size and
+/// estab_ids.size() == keys.size(). Consumes `keys` (it is reused as
+/// scratch). Deterministic for every thread count.
+std::vector<GroupedCell> AggregateByKeyAndEstab(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
+    uint64_t domain_size, int num_threads);
+
+/// Aggregates keys alone into (key, count) runs sorted by key. Requires
+/// keys[i] < domain_size. Consumes `keys`. Deterministic for every thread
+/// count.
+std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
+    std::vector<uint64_t> keys, uint64_t domain_size, int num_threads);
+
+}  // namespace eep::table
+
+#endif  // EEP_TABLE_PARTITIONED_GROUP_BY_H_

@@ -83,12 +83,36 @@ TEST_P(GroupByFuzzTest, MatchesNaiveReference) {
     EXPECT_EQ(cell->MaxEstabContribution(), max_contrib);
   }
 
-  // Plain GroupCount agrees with the establishment-tracked counts.
+  // Plain GroupCount agrees with the establishment-tracked counts (both
+  // are key-sorted, so the rows line up index for index).
   auto codec = GroupKeyCodec::Create(schema, {"attr_a", "attr_b"}).value();
   auto plain = GroupCount(t, codec).value();
   ASSERT_EQ(plain.size(), grouped.cells.size());
-  for (const auto& cell : grouped.cells) {
-    EXPECT_EQ(plain.at(cell.key), cell.count);
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].first, grouped.cells[i].key);
+    EXPECT_EQ(plain[i].second, grouped.cells[i].count);
+  }
+
+  // The parallel engine is thread-count-invariant: 2/4/8 workers must
+  // reproduce the single-threaded grouping bit for bit.
+  for (int threads : {2, 4, 8}) {
+    auto parallel = GroupCountByEstablishment(t, {"attr_a", "attr_b"},
+                                              "estab", GroupByOptions{threads})
+                        .value();
+    ASSERT_EQ(parallel.cells.size(), grouped.cells.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < grouped.cells.size(); ++i) {
+      const GroupedCell& a = grouped.cells[i];
+      const GroupedCell& b = parallel.cells[i];
+      ASSERT_EQ(a.key, b.key) << "threads=" << threads;
+      ASSERT_EQ(a.count, b.count) << "threads=" << threads;
+      ASSERT_EQ(a.contributions.size(), b.contributions.size())
+          << "threads=" << threads;
+      for (size_t c = 0; c < a.contributions.size(); ++c) {
+        ASSERT_EQ(a.contributions[c].estab_id, b.contributions[c].estab_id);
+        ASSERT_EQ(a.contributions[c].count, b.contributions[c].count);
+      }
+    }
   }
 }
 
@@ -99,7 +123,12 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{4, 5000, 2, 30, 100},
                       FuzzCase{5, 20000, 20, 3, 500},
                       FuzzCase{6, 1, 4, 4, 1},
-                      FuzzCase{7, 3000, 1, 1, 50}),
+                      FuzzCase{7, 3000, 1, 1, 50},
+                      // Large enough to span several range partitions.
+                      FuzzCase{8, 200000, 30, 40, 3000},
+                      // More establishments than cells: long contribution
+                      // lists exercise the packed run-length pass.
+                      FuzzCase{9, 100000, 2, 2, 20000}),
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return "seed" + std::to_string(info.param.seed) + "_rows" +
              std::to_string(info.param.num_rows);

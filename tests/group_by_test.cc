@@ -106,9 +106,136 @@ TEST(GroupCountTest, PlainCounts) {
   Table t = ToyTable();
   auto codec = GroupKeyCodec::Create(t.schema(), {"color"}).value();
   auto counts = GroupCount(t, codec).value();
-  EXPECT_EQ(counts.at(0), 4);
-  EXPECT_EQ(counts.at(1), 2);
-  EXPECT_EQ(counts.size(), 2u);
+  ASSERT_EQ(counts.size(), 2u);
+  // Sorted by key.
+  EXPECT_EQ(counts[0], (std::pair<uint64_t, int64_t>{0, 4}));  // red
+  EXPECT_EQ(counts[1], (std::pair<uint64_t, int64_t>{1, 2}));  // green
+}
+
+bool SameGrouped(const GroupedCounts& a, const GroupedCounts& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    const GroupedCell& x = a.cells[i];
+    const GroupedCell& y = b.cells[i];
+    if (x.key != y.key || x.count != y.count) return false;
+    if (x.contributions.size() != y.contributions.size()) return false;
+    for (size_t c = 0; c < x.contributions.size(); ++c) {
+      if (x.contributions[c].estab_id != y.contributions[c].estab_id ||
+          x.contributions[c].count != y.contributions[c].count) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(GroupCountByEstablishmentTest, ThreadCountInvariant) {
+  Table t = ToyTable();
+  auto base =
+      GroupCountByEstablishment(t, {"color", "size"}, "estab").value();
+  for (int threads : {2, 4, 8}) {
+    auto parallel = GroupCountByEstablishment(t, {"color", "size"}, "estab",
+                                              GroupByOptions{threads})
+                        .value();
+    EXPECT_TRUE(SameGrouped(base, parallel)) << "threads=" << threads;
+  }
+}
+
+TEST(GroupCountByEstablishmentTest, NegativeEstabIdsUsePairFallback) {
+  // Negative establishment ids cannot share a packed radix-sort word with
+  // the key, forcing the comparison-sort path; results must be identical
+  // in shape: contributions sorted ascending, counts exact.
+  auto color = Dictionary::Create({"red", "green"}).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"color", DataType::kCategory, color}})
+                    .value();
+  Table t = Table::Create(schema, {Column::OfInt64({-5, -5, 3, -5, 3}),
+                                   Column::OfCategory({0, 0, 0, 1, 0})})
+                .value();
+  auto grouped = GroupCountByEstablishment(t, {"color"}, "estab").value();
+  ASSERT_EQ(grouped.cells.size(), 2u);
+  const GroupedCell* red = grouped.Find(0);
+  ASSERT_NE(red, nullptr);
+  EXPECT_EQ(red->count, 4);
+  ASSERT_EQ(red->contributions.size(), 2u);
+  EXPECT_EQ(red->contributions[0].estab_id, -5);
+  EXPECT_EQ(red->contributions[0].count, 2);
+  EXPECT_EQ(red->contributions[1].estab_id, 3);
+  EXPECT_EQ(red->contributions[1].count, 2);
+  EXPECT_EQ(grouped.Find(1)->count, 1);
+}
+
+TEST(GroupCountTest, RejectsCodecFromMismatchedSchema) {
+  // A codec whose column index points at a non-categorical column of the
+  // queried table must fail with a status, not crash; same for a codec
+  // whose radix is smaller than the table column's dictionary (codes could
+  // then exceed the codec's key domain).
+  Table t = ToyTable();  // column 0 is the int64 "estab" column.
+  auto other_schema =
+      Schema::Create({{"color", DataType::kCategory,
+                       Dictionary::Create({"red", "green"}).value()}})
+          .value();
+  auto codec = GroupKeyCodec::Create(other_schema, {"color"}).value();
+  EXPECT_EQ(GroupCount(t, codec).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto narrow_schema =
+      Schema::Create({{"estab", DataType::kInt64, nullptr},
+                      {"color", DataType::kCategory,
+                       Dictionary::Create({"red"}).value()},
+                      {"size", DataType::kCategory,
+                       Dictionary::Create({"s", "m", "l"}).value()}})
+          .value();
+  auto narrow = GroupKeyCodec::Create(narrow_schema, {"color"}).value();
+  EXPECT_EQ(GroupCount(t, narrow).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupCountByEstablishmentTest, DomainWiderThan63Bits) {
+  // Eight 255-value columns give a 255^8 ~ 1.78e19 > 2^63 key domain; the
+  // partition planner must not shift by >= 64 bits (UB) when targeting a
+  // single partition for a tiny input.
+  std::vector<std::string> values;
+  for (int i = 0; i < 255; ++i) values.push_back("v" + std::to_string(i));
+  auto dict = Dictionary::Create(values).value();
+  std::vector<Field> fields = {{"estab", DataType::kInt64, nullptr}};
+  for (int c = 0; c < 8; ++c) {
+    fields.push_back({"c" + std::to_string(c), DataType::kCategory, dict});
+  }
+  auto schema = Schema::Create(fields).value();
+  std::vector<Column> columns = {Column::OfInt64({1, 2, 1})};
+  for (int c = 0; c < 8; ++c) {
+    columns.push_back(Column::OfCategory({254, 0, 254}));
+  }
+  Table t = Table::Create(schema, std::move(columns)).value();
+  std::vector<std::string> group_columns;
+  for (int c = 0; c < 8; ++c) group_columns.push_back("c" + std::to_string(c));
+  auto grouped =
+      GroupCountByEstablishment(t, group_columns, "estab").value();
+  ASSERT_EQ(grouped.cells.size(), 2u);
+  EXPECT_EQ(grouped.cells[0].key, 0u);
+  EXPECT_EQ(grouped.cells[0].count, 1);
+  EXPECT_EQ(grouped.cells[1].key, grouped.codec.Pack(std::vector<uint32_t>(
+                                      8, 254)));
+  EXPECT_EQ(grouped.cells[1].count, 2);
+  auto codec = GroupKeyCodec::Create(schema, group_columns).value();
+  auto plain = GroupCount(t, codec).value();
+  ASSERT_EQ(plain.size(), 2u);
+  EXPECT_EQ(plain[1].second, 2);
+}
+
+TEST(GroupCountByEstablishmentTest, EmptyTable) {
+  auto color = Dictionary::Create({"red", "green"}).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"color", DataType::kCategory, color}})
+                    .value();
+  Table t = Table::Create(schema, {Column::OfInt64({}),
+                                   Column::OfCategory({})})
+                .value();
+  auto grouped = GroupCountByEstablishment(t, {"color"}, "estab").value();
+  EXPECT_TRUE(grouped.cells.empty());
+  auto codec = GroupKeyCodec::Create(schema, {"color"}).value();
+  EXPECT_TRUE(GroupCount(t, codec).value().empty());
 }
 
 TEST(GroupCountByEstablishmentTest, TotalMatchesRowCount) {

@@ -236,5 +236,59 @@ TEST(MarginalQueryTest, ConsistentWithGeneratorData) {
   EXPECT_EQ(total, data.num_jobs());
 }
 
+TEST(MarginalQueryTest, ComputeIsThreadCountInvariant) {
+  // The parallel group-by and merge-join enumeration must yield the exact
+  // same cells (keys, counts, x_v, establishment breakdown, place codes)
+  // for every worker count.
+  GeneratorConfig config;
+  config.seed = 7;
+  config.target_jobs = 6000;
+  config.num_places = 12;
+  auto data = SyntheticLodesGenerator(config).Generate().value();
+  for (const MarginalSpec& spec :
+       {MarginalSpec::EstablishmentMarginal(),
+        MarginalSpec::WorkplaceBySexEducation(),
+        MarginalSpec::FullDemographics()}) {
+    auto base = MarginalQuery::Compute(data, spec).value();
+    for (int threads : {2, 4, 8}) {
+      auto parallel = MarginalQuery::Compute(data, spec, threads).value();
+      ASSERT_EQ(parallel.cells().size(), base.cells().size());
+      for (size_t i = 0; i < base.cells().size(); ++i) {
+        const MarginalCell& a = base.cells()[i];
+        const MarginalCell& b = parallel.cells()[i];
+        ASSERT_EQ(a.key, b.key) << "threads=" << threads;
+        ASSERT_EQ(a.count, b.count) << "threads=" << threads;
+        ASSERT_EQ(a.x_v, b.x_v) << "threads=" << threads;
+        ASSERT_EQ(a.num_estabs, b.num_estabs) << "threads=" << threads;
+        ASSERT_EQ(a.place_code, b.place_code) << "threads=" << threads;
+      }
+      ASSERT_EQ(parallel.grouped().cells.size(), base.grouped().cells.size());
+    }
+  }
+}
+
+TEST(MarginalQueryTest, PlaceCodeMatchesCodecUnpack) {
+  // The merge-join path extracts place_code arithmetically from the packed
+  // workplace key; it must agree with the codec's general Unpack.
+  LodesDataset data = TinyData();
+  for (const MarginalSpec& spec :
+       {MarginalSpec::EstablishmentMarginal(),
+        MarginalSpec::WorkplaceBySexEducation(),
+        MarginalSpec{{kColNaics, kColPlace}, {kColSex}}}) {
+    auto query = MarginalQuery::Compute(data, spec).value();
+    int place_slot = -1;
+    for (size_t i = 0; i < spec.workplace_attrs.size(); ++i) {
+      if (spec.workplace_attrs[i] == kColPlace) {
+        place_slot = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(place_slot, 0);
+    for (const MarginalCell& cell : query.cells()) {
+      EXPECT_EQ(cell.place_code,
+                query.codec().Unpack(cell.key)[place_slot]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace eep::lodes

@@ -11,7 +11,9 @@
 #include <cstdlib>
 
 #include "lodes/generator.h"
+#include "lodes/marginal.h"
 #include "release/pipeline.h"
+#include "table/group_by.h"
 
 namespace eep {
 namespace {
@@ -32,6 +34,41 @@ TEST(PaperScaleTest, PaperExtractReleasesBitIdenticallyAcrossThreads) {
   // distribution should land in the same regime.
   EXPECT_GT(data.num_establishments(), 400'000);
   EXPECT_LT(data.num_establishments(), 700'000);
+
+  // The columnar group-by engine must produce a bit-identical grouping for
+  // every worker count at the full 10.9M-row extract (the release-equality
+  // check below exercises it end to end; this pins the grouping itself,
+  // including the per-establishment contribution lists).
+  {
+    const std::vector<std::string> columns =
+        lodes::MarginalSpec::EstablishmentMarginal().AllColumns();
+    auto single = table::GroupCountByEstablishment(
+                      data.worker_full(), columns, lodes::kColEstabId,
+                      table::GroupByOptions{1})
+                      .value();
+    EXPECT_GT(single.cells.size(), 5'000u);
+    for (int threads : {2, 4, 8}) {
+      auto parallel = table::GroupCountByEstablishment(
+                          data.worker_full(), columns, lodes::kColEstabId,
+                          table::GroupByOptions{threads})
+                          .value();
+      ASSERT_EQ(parallel.cells.size(), single.cells.size())
+          << "threads=" << threads;
+      for (size_t i = 0; i < single.cells.size(); ++i) {
+        const table::GroupedCell& a = single.cells[i];
+        const table::GroupedCell& b = parallel.cells[i];
+        ASSERT_EQ(a.key, b.key) << "threads=" << threads;
+        ASSERT_EQ(a.count, b.count) << "threads=" << threads;
+        ASSERT_EQ(a.contributions.size(), b.contributions.size())
+            << "threads=" << threads;
+        for (size_t c = 0; c < a.contributions.size(); ++c) {
+          ASSERT_EQ(a.contributions[c].estab_id,
+                    b.contributions[c].estab_id);
+          ASSERT_EQ(a.contributions[c].count, b.contributions[c].count);
+        }
+      }
+    }
+  }
 
   release::ReleaseConfig release_config;
   release_config.spec = lodes::MarginalSpec::ByName("establishment").value();
