@@ -16,6 +16,7 @@
 #define EEP_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -34,6 +35,14 @@ struct BenchSetup {
   lodes::GeneratorConfig generator;
   eval::ExperimentConfig experiment;
 };
+
+/// Milliseconds elapsed since `start` — the timing helper every bench
+/// needs.
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 inline BenchSetup SetupFromFlags(const Flags& flags) {
   BenchSetup setup;

@@ -99,12 +99,6 @@ bool SameCells(const std::vector<GroupedCell>& a,
   return true;
 }
 
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,7 +135,7 @@ int main(int argc, char** argv) {
       const auto start = std::chrono::steady_clock::now();
       table::GroupedCounts got =
           HashBaseline(jobs, columns, lodes::kColEstabId);
-      const double ms = MsSince(start);
+      const double ms = bench::MsSince(start);
       if (rep == 0 || ms < base_ms) base_ms = ms;
       reference = std::move(got);
     }
@@ -177,7 +171,7 @@ int main(int argc, char** argv) {
                      jobs, columns, lodes::kColEstabId,
                      table::GroupByOptions{threads})
                      .value();
-      const double ms = MsSince(start);
+      const double ms = bench::MsSince(start);
       if (rep == 0 || ms < best_ms) best_ms = ms;
       identical = SameCells(got.cells, reference->cells);
     }
@@ -199,13 +193,13 @@ int main(int argc, char** argv) {
   auto codec = table::GroupKeyCodec::Create(jobs.schema(), columns).value();
   const auto mat_start = std::chrono::steady_clock::now();
   std::vector<uint64_t> keys = table::MaterializeGroupKeys(jobs, codec, 1);
-  const double mat_ms = MsSince(mat_start);
+  const double mat_ms = bench::MsSince(mat_start);
   const std::vector<int64_t>* estab_ids =
       jobs.ColumnByName(lodes::kColEstabId).value()->AsInt64().value();
   const auto agg_start = std::chrono::steady_clock::now();
   auto cells = table::AggregateByKeyAndEstab(std::move(keys), *estab_ids,
                                              codec.DomainSize(), 1);
-  const double agg_ms = MsSince(agg_start);
+  const double agg_ms = bench::MsSince(agg_start);
   std::printf(
       "\nsingle-thread phase split: materialize keys %.2f ms, "
       "partition+sort+aggregate %.2f ms (%zu cells)\n",

@@ -23,19 +23,6 @@
 
 namespace {
 
-eep::Result<eep::eval::MechanismKind> KindByName(const std::string& name) {
-  using eep::eval::MechanismKind;
-  if (name == "log_laplace") return MechanismKind::kLogLaplace;
-  if (name == "smooth_laplace") return MechanismKind::kSmoothLaplace;
-  if (name == "smooth_gamma") return MechanismKind::kSmoothGamma;
-  if (name == "edge_laplace") return MechanismKind::kEdgeLaplace;
-  if (name == "geometric") return MechanismKind::kSmoothGeometric;
-  return eep::Status::InvalidArgument(
-      "unknown mechanism \"" + name +
-      "\" (use log_laplace|smooth_laplace|smooth_gamma|edge_laplace|"
-      "geometric)");
-}
-
 size_t HashRows(const eep::release::ReleasedTable& table) {
   size_t h = 0xcbf29ce484222325ULL;
   for (const auto& row : table.rows) {
@@ -65,7 +52,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.spec = std::move(spec).value();
-  auto sweep_kind = KindByName(flags.GetString("mechanism", "smooth_laplace"));
+  auto sweep_kind =
+      eval::MechanismKindByName(flags.GetString("mechanism", "smooth_laplace"));
   if (!sweep_kind.ok()) {
     std::fprintf(stderr, "%s\n", sweep_kind.status().ToString().c_str());
     return 1;
@@ -76,7 +64,8 @@ int main(int argc, char** argv) {
   config.delta = 0.05;
   config.shard_size = static_cast<int>(flags.GetInt("shard", 1024));
 
-  const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+  const int max_threads =
+      std::max(1, static_cast<int>(flags.GetInt("max_threads", 8)));
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const uint64_t noise_seed = setup.generator.seed ^ 0x9E1Eu;
 

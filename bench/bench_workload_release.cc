@@ -1,0 +1,244 @@
+// Fused workload release bench: times RunReleaseWorkload (one shared scan
+// + cube roll-ups, see lodes/workload.h) against the independent path (one
+// RunRelease per marginal, each with its own full-table group-by), checks
+// that every released table is bit-identical between the two paths at
+// every thread count, that the fused path performed EXACTLY ONE full-table
+// group-by (the phase stats prove it), and that a cache-warmed rerun
+// performs zero.
+//
+// Extra flags on top of bench_common's (including --paper for the 10.9M
+// extract):
+//   --workload=NAME    paper | comma-separated marginal names
+//                      (establishment|workplace_sexedu|full_demographics);
+//                      default paper — the establishment and workplace x
+//                      sex x education tabulations released together
+//   --mechanism=NAME   log_laplace | smooth_laplace | smooth_gamma |
+//                      edge_laplace | geometric (default smooth_laplace)
+//   --max_threads=N    highest thread count in the sweep (default 8)
+//   --reps=N           timed repetitions per configuration, best-of
+//                      (default 3)
+//   --shard=N          cells per shard (default 1024)
+#include <chrono>
+
+#include "bench_common.h"
+#include "release/pipeline.h"
+
+namespace {
+
+size_t HashTables(const std::vector<eep::release::ReleasedTable>& tables) {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& table : tables) {
+    for (const auto& row : table.rows) {
+      for (const auto& cell : row) {
+        for (char c : cell) {
+          h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+        }
+        h = (h ^ '|') * 0x100000001b3ULL;
+      }
+      h = (h ^ '\n') * 0x100000001b3ULL;
+    }
+    h = (h ^ '#') * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eep;
+  const Flags flags = Flags::Parse(argc, argv);
+  const bench::BenchSetup setup = bench::SetupFromFlags(flags);
+  lodes::LodesDataset data = bench::MustGenerate(setup);
+
+  const std::string workload_name = flags.GetString("workload", "paper");
+  auto workload = lodes::WorkloadSpec::ByName(workload_name);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  auto kind =
+      eval::MechanismKindByName(flags.GetString("mechanism", "smooth_laplace"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+
+  release::WorkloadReleaseConfig config;
+  config.workload = std::move(workload).value();
+  config.mechanism = kind.value();
+  config.alpha = 0.1;
+  config.epsilon = 2.0;
+  config.delta = 0.05;
+  config.shard_size = static_cast<int>(flags.GetInt("shard", 1024));
+  const int max_threads =
+      std::max(1, static_cast<int>(flags.GetInt("max_threads", 8)));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const uint64_t noise_seed = setup.generator.seed ^ 0x3A7Fu;
+  const size_t num_marginals = config.workload.marginals.size();
+
+  std::printf("=== Fused workload release — %s (%zu marginals), %s ===\n",
+              workload_name.c_str(), num_marginals,
+              eval::MechanismKindName(config.mechanism));
+  bench::PrintDatasetSummary(data, setup);
+
+  // --- Independent baseline: one RunRelease (and one scan) per marginal. --
+  double independent_ms = 0.0;
+  double independent_group_by_ms = 0.0;
+  size_t independent_hash = 0;
+  size_t total_cells = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(noise_seed);
+    double group_by_ms = 0.0;
+    std::vector<release::ReleasedTable> tables;
+    const auto start = std::chrono::steady_clock::now();
+    for (const lodes::MarginalSpec& spec : config.workload.marginals) {
+      release::ReleaseConfig single;
+      single.spec = spec;
+      single.mechanism = config.mechanism;
+      single.alpha = config.alpha;
+      single.epsilon = config.epsilon;
+      single.delta = config.delta;
+      single.shard_size = config.shard_size;
+      single.num_threads = 1;
+      release::ReleaseStats stats;
+      auto released = release::RunRelease(data, single, nullptr, rng, &stats);
+      if (!released.ok()) {
+        std::fprintf(stderr, "independent release failed: %s\n",
+                     released.status().ToString().c_str());
+        return 1;
+      }
+      group_by_ms += stats.group_by_ms;
+      tables.push_back(std::move(released).value());
+    }
+    const double ms = bench::MsSince(start);
+    if (rep == 0 || ms < independent_ms) {
+      independent_ms = ms;
+      independent_group_by_ms = group_by_ms;
+    }
+    independent_hash = HashTables(tables);
+    total_cells = 0;
+    for (const auto& table : tables) total_cells += table.rows.size();
+  }
+
+  // --- Fused path across thread counts, checked against the baseline. ----
+  std::printf("%zu released cells; independent path: %s full-table scans\n\n",
+              total_cells, std::to_string(num_marginals).c_str());
+  TextTable table({"path", "threads", "best ms", "speedup", "full scans",
+                   "rows hash"});
+  {
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016zx", independent_hash);
+    table.AddRow({"independent", "1", FormatDouble(independent_ms, 2), "1.00",
+                  std::to_string(num_marginals), hash_hex});
+  }
+
+  bool ok = true;
+  lodes::WorkloadComputeStats fused_compute;
+  release::WorkloadReleaseStats fused_stats;
+  std::vector<int> sweep;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    sweep.push_back(threads);
+  }
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  for (int threads : sweep) {
+    config.num_threads = threads;
+    double best_ms = 0.0;
+    size_t hash = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(noise_seed);
+      release::WorkloadReleaseStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      auto released = release::RunReleaseWorkload(data, config, nullptr, rng,
+                                                  nullptr, &stats);
+      const double ms = bench::MsSince(start);
+      if (!released.ok()) {
+        std::fprintf(stderr, "fused release failed: %s\n",
+                     released.status().ToString().c_str());
+        return 1;
+      }
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      hash = HashTables(released.value());
+      if (threads == 1) {
+        fused_compute = stats.compute;
+        fused_stats = stats;
+      }
+      if (stats.compute.full_table_scans != 1) {
+        std::fprintf(stderr,
+                     "BUG: fused path ran %d full-table scans (threads=%d)\n",
+                     stats.compute.full_table_scans, threads);
+        ok = false;
+      }
+    }
+    if (hash != independent_hash) ok = false;
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016zx", hash);
+    table.AddRow({"fused", std::to_string(threads), FormatDouble(best_ms, 2),
+                  FormatDouble(independent_ms / best_ms, 2), "1", hash_hex});
+  }
+
+  // --- Cache-warmed rerun: the scan disappears entirely. -----------------
+  {
+    config.num_threads = 1;
+    table::GroupByCache cache;
+    Rng warm_rng(noise_seed);
+    auto warm = release::RunReleaseWorkload(data, config, nullptr, warm_rng,
+                                            &cache);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "cache warm-up failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    double best_ms = 0.0;
+    size_t hash = 0;
+    int scans = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(noise_seed);
+      release::WorkloadReleaseStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      auto released = release::RunReleaseWorkload(data, config, nullptr, rng,
+                                                  &cache, &stats);
+      const double ms = bench::MsSince(start);
+      if (!released.ok()) {
+        std::fprintf(stderr, "cached release failed: %s\n",
+                     released.status().ToString().c_str());
+        return 1;
+      }
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      hash = HashTables(released.value());
+      scans = stats.compute.full_table_scans;
+    }
+    if (hash != independent_hash || scans != 0) ok = false;
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016zx", hash);
+    table.AddRow({"fused+cache", "1", FormatDouble(best_ms, 2),
+                  FormatDouble(independent_ms / best_ms, 2),
+                  std::to_string(scans), hash_hex});
+  }
+  table.Print(std::cout);
+  std::printf("\nreleased tables %s between the independent and fused paths\n",
+              ok ? "BIT-IDENTICAL" : "DIFFER OR SCAN COUNT WRONG (BUG!)");
+
+  // --- Phase breakdown + roll-up lattice of the single-threaded run. -----
+  std::printf("\n=== Fused phase breakdown (1 thread, ms) ===\n");
+  TextTable phases({"phase", "ms"});
+  phases.AddRow({"fused group-by (the one scan)",
+                 FormatDouble(fused_compute.base_ms, 2)});
+  phases.AddRow({"roll-ups + domain enumeration",
+                 FormatDouble(fused_compute.derive_ms, 2)});
+  phases.AddRow({"noise", FormatDouble(fused_stats.noise_ms, 2)});
+  phases.AddRow({"format", FormatDouble(fused_stats.format_ms, 2)});
+  phases.AddRow({"independent group-by total (for contrast)",
+                 FormatDouble(independent_group_by_ms, 2)});
+  phases.Print(std::cout);
+  std::printf("\nroll-up lattice:\n");
+  for (size_t i = 0; i < fused_compute.sources.size(); ++i) {
+    std::string columns;
+    for (const auto& c : config.workload.marginals[i].AllColumns()) {
+      if (!columns.empty()) columns += ",";
+      columns += c;
+    }
+    std::printf("  [%s] <- %s\n", columns.c_str(),
+                fused_compute.sources[i].c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -1,14 +1,20 @@
 // A command-line "agency" release tool: generate (or later: load) an
-// extract, pick a marginal and a mechanism, and write the protected table
-// to CSV with the privacy ledger printed at the end. Demonstrates the
-// production-facing surface of the library.
+// extract, pick a workload of marginals and a mechanism, release the whole
+// workload in ONE fused pass (shared scan + cube roll-ups, see
+// lodes/workload.h), and write one protected CSV per marginal with the
+// privacy ledger printed at the end. Demonstrates the production-facing
+// surface of the library.
 //
 // Usage:
 //   ./build/examples/agency_release
-//       --marginal=establishment|workplace_sexedu|full_demographics
+//       --workload=paper            (or e.g. establishment,workplace_sexedu)
 //       --mechanism=smooth_laplace
-//       --alpha=0.1 --epsilon=2 --delta=0.05 --budget=8
+//       --alpha=0.1 --epsilon=1.0 --delta=0.05 --budget=20
 //       --jobs=50000 --threads=1 --out=/tmp/protected.csv
+//
+// --marginal=NAME is still accepted as shorthand for a one-marginal
+// workload.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -32,14 +38,15 @@ int main(int argc, char** argv) {
   }
   auto data = std::move(generated).value();
 
-  release::ReleaseConfig config;
-  const std::string marginal = flags.GetString("marginal", "establishment");
-  auto spec = lodes::MarginalSpec::ByName(marginal);
-  if (!spec.ok()) {
-    std::cerr << spec.status().ToString() << "\n";
+  release::WorkloadReleaseConfig config;
+  const std::string workload_name =
+      flags.GetString("workload", flags.GetString("marginal", "paper"));
+  auto workload = lodes::WorkloadSpec::ByName(workload_name);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
     return 1;
   }
-  config.spec = std::move(spec).value();
+  config.workload = std::move(workload).value();
 
   const std::string mech = flags.GetString("mechanism", "smooth_laplace");
   if (mech == "smooth_laplace") {
@@ -57,47 +64,67 @@ int main(int argc, char** argv) {
   }
 
   config.alpha = flags.GetDouble("alpha", 0.1);
-  config.epsilon = flags.GetDouble("epsilon", 2.0);
+  config.epsilon = flags.GetDouble("epsilon", 1.0);
   config.delta = flags.GetDouble("delta",
                                  mech == "smooth_gamma" ||
                                          mech == "log_laplace"
                                      ? 0.0
                                      : 0.05);
-  config.description = marginal + " marginal via " + mech;
+  config.description = workload_name + " workload via " + mech;
 
-  const auto model = config.spec.HasWorkerAttrs()
-                         ? privacy::AdversaryModel::kWeak
-                         : privacy::AdversaryModel::kInformed;
+  const bool has_worker_attrs =
+      std::any_of(config.workload.marginals.begin(),
+                  config.workload.marginals.end(),
+                  [](const lodes::MarginalSpec& spec) {
+                    return spec.HasWorkerAttrs();
+                  });
+  const auto model = has_worker_attrs ? privacy::AdversaryModel::kWeak
+                                      : privacy::AdversaryModel::kInformed;
   auto accountant = privacy::PrivacyAccountant::Create(
                         config.alpha, flags.GetDouble("budget", 20.0),
-                        /*delta_budget=*/0.5, model);
+                        /*delta_budget=*/0.9, model);
   if (!accountant.ok()) {
     std::cerr << accountant.status().ToString() << "\n";
     return 1;
   }
 
-  // --threads=N shards the per-cell noise loop; the published table is
-  // identical for every thread count (0 = all hardware threads).
+  // --threads=N shards the group-by and the noise loop; the published
+  // tables are identical for every thread count (0 = all hardware threads).
   config.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   Rng rng(static_cast<uint64_t>(flags.GetInt("noise_seed", 1)));
-  auto released =
-      release::RunRelease(data, config, &accountant.value(), rng);
+  release::WorkloadReleaseStats stats;
+  auto released = release::RunReleaseWorkload(data, config,
+                                              &accountant.value(), rng,
+                                              /*cache=*/nullptr, &stats);
   if (!released.ok()) {
     std::cerr << "release refused: " << released.status().ToString() << "\n";
     return 1;
   }
 
+  // One CSV per marginal: "<out>" for the first, "<out>.2", "<out>.3", ...
+  // for the rest (the common single-marginal call keeps its exact path).
   const std::string out = flags.GetString("out", "/tmp/protected.csv");
-  if (auto st = released.value().WriteCsv(out); !st.ok()) {
-    std::cerr << st.ToString() << "\n";
-    return 1;
+  for (size_t i = 0; i < released.value().size(); ++i) {
+    const std::string path =
+        i == 0 ? out : out + "." + std::to_string(i + 1);
+    if (auto st = released.value()[i].WriteCsv(path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    const std::string& source = stats.compute.sources[i];
+    const std::string provenance =
+        source == "exact-hit" ? "grouping: the fused scan (exact hit)"
+                              : "rolled up from: " + source;
+    std::printf("wrote %zu protected cells to %s (%s)\n",
+                released.value()[i].rows.size(), path.c_str(),
+                provenance.c_str());
   }
-  std::printf("wrote %zu protected cells to %s\n",
-              released.value().rows.size(), out.c_str());
+  std::printf("full-table scans for the whole workload: %d\n",
+              stats.compute.full_table_scans);
   std::printf("privacy ledger (%s adversary model):\n",
               privacy::AdversaryModelName(model));
   for (const auto& entry : accountant.value().ledger()) {
-    std::printf("  %-40s eps=%.3f delta=%.3g\n", entry.description.c_str(),
+    std::printf("  %-56s eps=%.3f delta=%.3g\n", entry.description.c_str(),
                 entry.epsilon_charged, entry.delta_charged);
   }
   std::printf("remaining budget: eps=%.3f\n",

@@ -1,10 +1,13 @@
 // Quickstart: the smallest end-to-end use of the library.
 //
 //  1. Generate a synthetic LODES-like extract (or bring your own tables).
-//  2. Compute the employment marginal over place x industry x ownership.
-//  3. Release it with (alpha, epsilon, delta)-ER-EE privacy via the
-//     Smooth Laplace mechanism, tracked by a privacy accountant.
-//  4. Compare a few released cells to the confidential truth.
+//  2. Release the paper's tabulation workload — the establishment marginal
+//     (place x industry x ownership) AND the workplace x sex x education
+//     marginal — in ONE fused pass: the engine scans the extract once at
+//     the finest cross-classification and derives each marginal by cube
+//     roll-up, with the privacy accountant charging each marginal under
+//     (alpha, epsilon, delta)-ER-EE privacy.
+//  3. Compare a few released cells to the confidential truth.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -32,33 +35,45 @@ int main() {
               static_cast<long long>(data.value().num_jobs()),
               static_cast<long long>(data.value().num_establishments()));
 
-  // 2-3. One protected release of the establishment marginal. The
-  //      accountant enforces the total budget across releases.
+  // 2. One fused release of the paper's workload. The workload contains a
+  //    marginal with worker attributes, so the accountant runs under the
+  //    weak adversary model and charges it d x epsilon (d = 8 sex x
+  //    education cells); the establishment marginal parallel-composes and
+  //    costs epsilon.
   auto accountant = privacy::PrivacyAccountant::Create(
-                        /*alpha=*/0.1, /*epsilon_budget=*/4.0,
-                        /*delta_budget=*/0.1,
-                        privacy::AdversaryModel::kInformed)
+                        /*alpha=*/0.1, /*epsilon_budget=*/12.0,
+                        /*delta_budget=*/0.6,
+                        privacy::AdversaryModel::kWeak)
                         .value();
-  release::ReleaseConfig config;
-  config.spec = lodes::MarginalSpec::EstablishmentMarginal();
+  release::WorkloadReleaseConfig config;
+  config.workload = lodes::WorkloadSpec::PaperTabulations();
   config.mechanism = eval::MechanismKind::kSmoothLaplace;
   config.alpha = 0.1;
-  config.epsilon = 2.0;
+  config.epsilon = 1.0;
   config.delta = 0.05;
-  config.description = "quickstart establishment marginal";
+  config.description = "quickstart workload";
 
   Rng rng(2027);
-  auto released = release::RunRelease(data.value(), config, &accountant, rng);
+  table::GroupByCache cache;  // Carries groupings across releases.
+  release::WorkloadReleaseStats stats;
+  auto released = release::RunReleaseWorkload(data.value(), config,
+                                              &accountant, rng, &cache,
+                                              &stats);
   if (!released.ok()) {
     std::cerr << released.status().ToString() << "\n";
     return 1;
   }
-  std::printf("released %zu cells; privacy spent: eps=%.2f of %.2f\n\n",
-              released.value().rows.size(), accountant.spent_epsilon(),
-              accountant.epsilon_budget());
+  std::printf(
+      "released %zu marginals (%zu + %zu cells) from %d full-table scan(s); "
+      "privacy spent: eps=%.2f of %.2f\n\n",
+      released.value().size(), released.value()[0].rows.size(),
+      released.value()[1].rows.size(), stats.compute.full_table_scans,
+      accountant.spent_epsilon(), accountant.epsilon_budget());
 
-  // 4. Show the first few cells against the confidential counts.
-  auto query = lodes::MarginalQuery::Compute(data.value(), config.spec)
+  // 3. Show the first few establishment-marginal cells against the
+  //    confidential counts.
+  auto query = lodes::MarginalQuery::Compute(
+                   data.value(), lodes::MarginalSpec::EstablishmentMarginal())
                    .value();
   std::printf("%-44s %10s %10s\n", "cell", "true", "released");
   for (size_t i = 0; i < 8 && i < query.cells().size(); ++i) {
@@ -68,15 +83,17 @@ int main() {
                      .value();
     std::printf("%-44s %10lld %10s\n", label.c_str(),
                 static_cast<long long>(cell.count),
-                released.value().rows[i].back().c_str());
+                released.value()[0].rows[i].back().c_str());
   }
 
-  // A second identical release would cost another 2.0 epsilon; the third
-  // would be refused:
-  auto again = release::RunRelease(data.value(), config, &accountant, rng);
-  auto refused = release::RunRelease(data.value(), config, &accountant, rng);
-  std::printf("\nsecond release: %s; third release: %s\n",
-              again.ok() ? "allowed" : "refused",
-              refused.ok() ? "allowed" : refused.status().ToString().c_str());
+  // A second identical workload would cost another 9.0 epsilon; the
+  // atomic workload charge refuses it outright (nothing is charged, no
+  // table released) — and thanks to the cache it does not even re-scan
+  // the extract to find that out.
+  auto refused = release::RunReleaseWorkload(data.value(), config,
+                                             &accountant, rng, &cache);
+  std::printf("\nsecond workload release: %s\n",
+              refused.ok() ? "allowed"
+                           : refused.status().ToString().c_str());
   return 0;
 }

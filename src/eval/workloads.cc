@@ -2,6 +2,7 @@
 
 #include "graph/truncation.h"
 #include "lodes/attributes.h"
+#include "lodes/workload.h"
 #include "mechanisms/geometric.h"
 #include "mechanisms/laplace.h"
 #include "mechanisms/log_laplace.h"
@@ -20,6 +21,18 @@ const char* MechanismKindName(MechanismKind kind) {
     case MechanismKind::kSmoothGeometric: return "Smooth Geometric";
   }
   return "unknown";
+}
+
+Result<MechanismKind> MechanismKindByName(const std::string& name) {
+  if (name == "log_laplace") return MechanismKind::kLogLaplace;
+  if (name == "smooth_laplace") return MechanismKind::kSmoothLaplace;
+  if (name == "smooth_gamma") return MechanismKind::kSmoothGamma;
+  if (name == "edge_laplace") return MechanismKind::kEdgeLaplace;
+  if (name == "geometric") return MechanismKind::kSmoothGeometric;
+  return Status::InvalidArgument(
+      "unknown mechanism \"" + name +
+      "\" (use log_laplace|smooth_laplace|smooth_gamma|edge_laplace|"
+      "geometric)");
 }
 
 Result<std::unique_ptr<mechanisms::CountMechanism>> MakeMechanism(
@@ -75,25 +88,27 @@ int64_t Workloads::FemaleCollegeSlice() {
          static_cast<int64_t>(lodes::CollegeCode());
 }
 
+Status Workloads::EnsureMarginals() {
+  if (estab_marginal_.has_value()) return Status::OK();
+  // One fused pass serves every figure: the workload's finest
+  // cross-classification (the sex x education marginal) is scanned once and
+  // the establishment marginal rolls up from it (see lodes/workload.h).
+  EEP_ASSIGN_OR_RETURN(
+      std::vector<lodes::MarginalQuery> queries,
+      lodes::ComputeWorkload(*data_, lodes::WorkloadSpec::PaperTabulations(),
+                             threads_));
+  estab_marginal_.emplace(std::move(queries[0]));
+  sexedu_marginal_.emplace(std::move(queries[1]));
+  return Status::OK();
+}
+
 Result<const lodes::MarginalQuery*> Workloads::EstabMarginal() {
-  if (!estab_marginal_.has_value()) {
-    EEP_ASSIGN_OR_RETURN(
-        lodes::MarginalQuery q,
-        lodes::MarginalQuery::Compute(
-            *data_, lodes::MarginalSpec::EstablishmentMarginal()));
-    estab_marginal_.emplace(std::move(q));
-  }
+  EEP_RETURN_NOT_OK(EnsureMarginals());
   return &*estab_marginal_;
 }
 
 Result<const lodes::MarginalQuery*> Workloads::SexEduMarginal() {
-  if (!sexedu_marginal_.has_value()) {
-    EEP_ASSIGN_OR_RETURN(
-        lodes::MarginalQuery q,
-        lodes::MarginalQuery::Compute(
-            *data_, lodes::MarginalSpec::WorkplaceBySexEducation()));
-    sexedu_marginal_.emplace(std::move(q));
-  }
+  EEP_RETURN_NOT_OK(EnsureMarginals());
   return &*sexedu_marginal_;
 }
 

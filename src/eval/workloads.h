@@ -39,6 +39,11 @@ enum class MechanismKind {
 
 const char* MechanismKindName(MechanismKind kind);
 
+/// CLI-friendly inverse of MechanismKindName: log_laplace | smooth_laplace
+/// | smooth_gamma | edge_laplace | geometric. The single mapping shared by
+/// bench and example flag parsers.
+Result<MechanismKind> MechanismKindByName(const std::string& name);
+
 /// Builds a mechanism instance for one grid point; fails when the
 /// (alpha, epsilon, delta) combination is infeasible for that mechanism —
 /// those are the missing points in the paper's plots.
@@ -73,7 +78,7 @@ struct WorkloadGrids {
 class Workloads {
  public:
   Workloads(const lodes::LodesDataset* data, ExperimentConfig config)
-      : data_(data), runner_(data, config) {}
+      : data_(data), threads_(config.threads), runner_(data, config) {}
 
   /// Figures 1-5 (see file header). Points are emitted for the full grid;
   /// infeasible combinations carry feasible=false and a reason.
@@ -103,9 +108,14 @@ class Workloads {
   ExperimentRunner& runner() { return runner_; }
 
  private:
-  /// Lazily computed marginals (shared across grid points).
+  /// Lazily computed marginals (shared across grid points). Both figure
+  /// marginals are materialized together through the fused workload path
+  /// (lodes::ComputeWorkload): one WorkerFull scan at the finer
+  /// cross-classification, the establishment marginal derived from it by
+  /// cube roll-up — bit-identical to computing each independently.
   Result<const lodes::MarginalQuery*> EstabMarginal();
   Result<const lodes::MarginalQuery*> SexEduMarginal();
+  Status EnsureMarginals();
 
   /// Error-ratio grid sweep over (kind, epsilon, alpha) with per-cell
   /// budget epsilon/budget_divisor, optionally restricted to one worker
@@ -120,6 +130,7 @@ class Workloads {
       double budget_divisor, std::optional<int64_t> worker_slice);
 
   const lodes::LodesDataset* data_;
+  int threads_ = 1;
   ExperimentRunner runner_;
   std::optional<lodes::MarginalQuery> estab_marginal_;
   std::optional<lodes::MarginalQuery> sexedu_marginal_;

@@ -72,10 +72,47 @@ Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
       table::GroupCountByEstablishment(data.worker_full(), spec.AllColumns(),
                                        kColEstabId, group_by_options));
 
+  // Which workplace-attribute combinations exist (public knowledge): group
+  // the Workplace table itself, so combos with an employer but zero matching
+  // workers are still released.
+  std::vector<uint64_t> present_wkeys;
+  if (spec.workplace_attrs.empty()) {
+    present_wkeys.push_back(0);
+  } else {
+    EEP_ASSIGN_OR_RETURN(
+        table::GroupKeyCodec wcodec,
+        table::GroupKeyCodec::Create(data.workplaces().schema(),
+                                     spec.workplace_attrs));
+    EEP_ASSIGN_OR_RETURN(
+        auto wcounts,
+        table::GroupCount(data.workplaces(), wcodec, group_by_options));
+    present_wkeys.reserve(wcounts.size());
+    for (const auto& [key, n] : wcounts) present_wkeys.push_back(key);
+  }
+
+  return FromGrouped(data, spec,
+                     std::make_shared<const table::GroupedCounts>(
+                         std::move(grouped)),
+                     present_wkeys);
+}
+
+Result<MarginalQuery> MarginalQuery::FromGrouped(
+    const LodesDataset& data, const MarginalSpec& spec,
+    std::shared_ptr<const table::GroupedCounts> grouped,
+    const std::vector<uint64_t>& present_wkeys) {
+  EEP_RETURN_NOT_OK(spec.Validate());
+  if (grouped == nullptr) {
+    return Status::InvalidArgument("FromGrouped needs a grouping");
+  }
+  if (grouped->codec.columns() != spec.AllColumns()) {
+    return Status::InvalidArgument(
+        "grouping columns do not match the marginal spec");
+  }
+
   MarginalQuery query(&data, spec, std::move(grouped));
 
   // Worker-attribute domain size d (inner radices of the packed key).
-  const auto& radices = query.grouped_.codec.radices();
+  const auto& radices = query.grouped_->codec.radices();
   const size_t n_workplace = spec.workplace_attrs.size();
   int64_t worker_domain = 1;
   for (size_t i = n_workplace; i < radices.size(); ++i) {
@@ -103,28 +140,10 @@ Result<MarginalQuery> MarginalQuery::Compute(const LodesDataset& data,
     place_radix = radices[static_cast<size_t>(place_slot)];
   }
 
-  // Which workplace-attribute combinations exist (public knowledge): group
-  // the Workplace table itself, so combos with an employer but zero matching
-  // workers are still released.
-  std::vector<uint64_t> present_wkeys;
-  if (n_workplace == 0) {
-    present_wkeys.push_back(0);
-  } else {
-    EEP_ASSIGN_OR_RETURN(
-        table::GroupKeyCodec wcodec,
-        table::GroupKeyCodec::Create(data.workplaces().schema(),
-                                     spec.workplace_attrs));
-    EEP_ASSIGN_OR_RETURN(
-        auto wcounts,
-        table::GroupCount(data.workplaces(), wcodec, group_by_options));
-    present_wkeys.reserve(wcounts.size());
-    for (const auto& [key, n] : wcounts) present_wkeys.push_back(key);
-  }
-
   // Domain enumeration visits keys in increasing order (present_wkeys is
   // sorted, worker keys nest inside), and the grouped cells are key-sorted,
   // so one merge cursor replaces the per-cell binary search.
-  const auto& gcells = query.grouped_.cells;
+  const auto& gcells = query.grouped_->cells;
   size_t gi = 0;
   query.cells_.reserve(present_wkeys.size() *
                        static_cast<size_t>(worker_domain));
@@ -177,7 +196,7 @@ Result<const MarginalCell*> MarginalQuery::FindCell(
     EEP_ASSIGN_OR_RETURN(uint32_t code, dict->CodeOf(it->second));
     codes.push_back(code);
   }
-  const uint64_t key = grouped_.codec.Pack(codes);
+  const uint64_t key = grouped_->codec.Pack(codes);
   auto it = std::lower_bound(
       cells_.begin(), cells_.end(), key,
       [](const MarginalCell& cell, uint64_t k) { return cell.key < k; });

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -83,14 +84,29 @@ class MarginalQuery {
                                        const MarginalSpec& spec,
                                        int num_threads = 1);
 
+  /// Builds the marginal from an already-computed grouping — the fused
+  /// workload path (lodes/workload.h), where `grouped` is derived from one
+  /// shared scan by cube roll-up instead of scanning per marginal.
+  /// `grouped->codec` must be over exactly spec.AllColumns() (same order)
+  /// and `present_wkeys` must be the sorted distinct packed workplace-attr
+  /// keys with at least one establishment (pass {0} when the spec has no
+  /// workplace attributes). Output is bit-identical to Compute whenever the
+  /// inputs match what Compute would derive itself — which the roll-up
+  /// guarantees (see table/rollup.h).
+  static Result<MarginalQuery> FromGrouped(
+      const LodesDataset& data, const MarginalSpec& spec,
+      std::shared_ptr<const table::GroupedCounts> grouped,
+      const std::vector<uint64_t>& present_wkeys);
+
   const MarginalSpec& spec() const { return spec_; }
-  const table::GroupKeyCodec& codec() const { return grouped_.codec; }
+  const table::GroupKeyCodec& codec() const { return grouped_->codec; }
 
   /// Cells in key order, following the domain policy in the file header.
   const std::vector<MarginalCell>& cells() const { return cells_; }
 
-  /// Raw non-empty groups with per-establishment contributions.
-  const table::GroupedCounts& grouped() const { return grouped_; }
+  /// Raw non-empty groups with per-establishment contributions. May be
+  /// shared with other marginals of a fused workload (see FromGrouped).
+  const table::GroupedCounts& grouped() const { return *grouped_; }
 
   /// |dom(worker attrs)| — the d of the weak-privacy marginal surcharge.
   int64_t WorkerDomainSize() const { return worker_domain_size_; }
@@ -111,12 +127,12 @@ class MarginalQuery {
 
  private:
   MarginalQuery(const LodesDataset* data, MarginalSpec spec,
-                table::GroupedCounts grouped)
+                std::shared_ptr<const table::GroupedCounts> grouped)
       : data_(data), spec_(std::move(spec)), grouped_(std::move(grouped)) {}
 
   const LodesDataset* data_;
   MarginalSpec spec_;
-  table::GroupedCounts grouped_;
+  std::shared_ptr<const table::GroupedCounts> grouped_;
   std::vector<MarginalCell> cells_;
   int64_t worker_domain_size_ = 1;
 };

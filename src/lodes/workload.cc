@@ -1,0 +1,200 @@
+#include "lodes/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "lodes/attributes.h"
+
+namespace eep::lodes {
+
+namespace {
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Union of the marginals' attributes restricted to `canonical`, in
+/// canonical order.
+std::vector<std::string> UnionInCanonicalOrder(
+    const std::vector<std::string>& canonical,
+    const std::vector<MarginalSpec>& marginals, bool workplace) {
+  std::vector<std::string> result;
+  for (const std::string& attr : canonical) {
+    const bool used = std::any_of(
+        marginals.begin(), marginals.end(), [&](const MarginalSpec& spec) {
+          const auto& attrs =
+              workplace ? spec.workplace_attrs : spec.worker_attrs;
+          return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+        });
+    if (used) result.push_back(attr);
+  }
+  return result;
+}
+
+std::string JoinColumns(const std::vector<std::string>& columns) {
+  std::string out;
+  for (const auto& c : columns) {
+    if (!out.empty()) out += ",";
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+MarginalSpec WorkloadSpec::FusedSpec() const {
+  MarginalSpec fused;
+  fused.workplace_attrs = UnionInCanonicalOrder(
+      {kColPlace, kColNaics, kColOwnership}, marginals, /*workplace=*/true);
+  fused.worker_attrs = UnionInCanonicalOrder(
+      {kColSex, kColAge, kColRace, kColEthnicity, kColEducation}, marginals,
+      /*workplace=*/false);
+  return fused;
+}
+
+Status WorkloadSpec::Validate() const {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("workload needs at least one marginal");
+  }
+  for (const MarginalSpec& spec : marginals) {
+    EEP_RETURN_NOT_OK(spec.Validate());
+  }
+  return Status::OK();
+}
+
+WorkloadSpec WorkloadSpec::PaperTabulations() {
+  return {{MarginalSpec::EstablishmentMarginal(),
+           MarginalSpec::WorkplaceBySexEducation()}};
+}
+
+Result<WorkloadSpec> WorkloadSpec::ByName(const std::string& names) {
+  if (names == "paper") return PaperTabulations();
+  WorkloadSpec workload;
+  size_t begin = 0;
+  while (begin <= names.size()) {
+    const size_t comma = names.find(',', begin);
+    const std::string name =
+        names.substr(begin, comma == std::string::npos ? std::string::npos
+                                                       : comma - begin);
+    EEP_ASSIGN_OR_RETURN(MarginalSpec spec, MarginalSpec::ByName(name));
+    workload.marginals.push_back(std::move(spec));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return workload;
+}
+
+Result<std::vector<MarginalQuery>> ComputeWorkload(
+    const LodesDataset& data, const WorkloadSpec& workload, int num_threads,
+    table::GroupByCache* cache, WorkloadComputeStats* stats) {
+  EEP_RETURN_NOT_OK(workload.Validate());
+  WorkloadComputeStats collected;
+  // Without a caller-held cache, a call-local one still provides the
+  // roll-up lattice (each marginal derives from the cheapest covering
+  // grouping materialized so far); it just cannot carry groupings to the
+  // next call.
+  table::GroupByCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+  const table::GroupByOptions options{num_threads};
+
+  // Seed the lattice with the fused grouping: the at-most-one full-table
+  // scan (zero when the cache already holds it or a superset of it).
+  const MarginalSpec fused = workload.FusedSpec();
+  const auto base_start = std::chrono::steady_clock::now();
+  table::GroupByCache::Outcome outcome;
+  EEP_RETURN_NOT_OK(cache
+                        ->GetOrCompute(data.worker_full(), fused.AllColumns(),
+                                       kColEstabId, options, &outcome)
+                        .status());
+  collected.base_ms = MsSince(base_start);
+  if (outcome == table::GroupByCache::Outcome::kScan) {
+    collected.full_table_scans = 1;
+  }
+
+  // The released workplace-combination domain is public knowledge: group
+  // the (establishment-count-sized) Workplace table once at the fused
+  // workplace attributes; each marginal's combinations project from it
+  // through the same cache, so a warmed cache re-scans NEITHER table.
+  const auto derive_start = std::chrono::steady_clock::now();
+  if (!fused.workplace_attrs.empty()) {
+    EEP_RETURN_NOT_OK(cache
+                          ->GetOrComputeKeyCounts(data.workplaces(),
+                                                  fused.workplace_attrs,
+                                                  options)
+                          .status());
+  }
+
+  // Lattice order: materialize wide marginals first, so narrower ones can
+  // roll up from an already-derived small grouping instead of the (much
+  // larger) fused base — e.g. place x naics x ownership derives from the
+  // sex x education marginal's cells, not from the full-demographics base.
+  // Derivation order is internal; results are emitted in workload order
+  // and are order-independent anyway (every roll-up is exact).
+  std::vector<size_t> derivation_order(workload.marginals.size());
+  for (size_t i = 0; i < derivation_order.size(); ++i) {
+    derivation_order[i] = i;
+  }
+  std::stable_sort(derivation_order.begin(), derivation_order.end(),
+                   [&](size_t a, size_t b) {
+                     return workload.marginals[a].AllColumns().size() >
+                            workload.marginals[b].AllColumns().size();
+                   });
+
+  std::vector<std::optional<MarginalQuery>> derived(
+      workload.marginals.size());
+  collected.sources.resize(workload.marginals.size());
+  for (const size_t index : derivation_order) {
+    const MarginalSpec& spec = workload.marginals[index];
+    table::GroupByCache::Outcome marginal_outcome;
+    std::vector<std::string> source_columns;
+    EEP_ASSIGN_OR_RETURN(
+        std::shared_ptr<const table::GroupedCounts> grouped,
+        cache->GetOrCompute(data.worker_full(), spec.AllColumns(),
+                            kColEstabId, options, &marginal_outcome,
+                            &source_columns));
+    switch (marginal_outcome) {
+      case table::GroupByCache::Outcome::kExactHit:
+        ++collected.exact_hits;
+        collected.sources[index] = "exact-hit";
+        break;
+      case table::GroupByCache::Outcome::kRollup:
+        ++collected.rollups;
+        collected.sources[index] = JoinColumns(source_columns);
+        break;
+      case table::GroupByCache::Outcome::kScan:
+        // Unreachable: the fused grouping covers every marginal.
+        ++collected.full_table_scans;
+        collected.sources[index] = "table scan";
+        break;
+    }
+
+    std::vector<uint64_t> present_wkeys;
+    if (spec.workplace_attrs.empty()) {
+      present_wkeys.push_back(0);
+    } else {
+      EEP_ASSIGN_OR_RETURN(
+          auto wcounts,
+          cache->GetOrComputeKeyCounts(data.workplaces(),
+                                       spec.workplace_attrs, options));
+      present_wkeys.reserve(wcounts->size());
+      for (const auto& [key, n] : *wcounts) present_wkeys.push_back(key);
+    }
+
+    EEP_ASSIGN_OR_RETURN(
+        MarginalQuery query,
+        MarginalQuery::FromGrouped(data, spec, std::move(grouped),
+                                   present_wkeys));
+    derived[index].emplace(std::move(query));
+  }
+  std::vector<MarginalQuery> queries;
+  queries.reserve(derived.size());
+  for (auto& query : derived) queries.push_back(std::move(*query));
+  collected.derive_ms = MsSince(derive_start);
+  if (stats != nullptr) *stats = std::move(collected);
+  return queries;
+}
+
+}  // namespace eep::lodes

@@ -2,8 +2,11 @@
 //
 // A mechanism releases one cell of a marginal at a time; marginal-level
 // releases (and their composition accounting) are orchestrated by
-// eval::ExperimentRunner and release::ReleasePipeline on top of this
-// interface.
+// eval::ExperimentRunner and release::RunRelease[Workload] on top of this
+// interface. The batch-sampling determinism contract (ReleaseBatch as a
+// pure function of the incoming rng state, free to consume the stream
+// differently from the scalar loop) is documented in
+// docs/ARCHITECTURE.md, "Batch sampling".
 #ifndef EEP_MECHANISMS_MECHANISM_H_
 #define EEP_MECHANISMS_MECHANISM_H_
 

@@ -1,6 +1,7 @@
 #include "privacy/accountant.h"
 
 #include <cmath>
+#include <utility>
 
 namespace eep::privacy {
 
@@ -46,6 +47,24 @@ Status PrivacyAccountant::ChargeSequential(const std::string& description,
   return Charge(description, epsilon, delta);
 }
 
+namespace {
+
+/// (epsilon, delta) actually charged for one marginal under `model` — the
+/// single place the weak-model d-multiplier lives.
+std::pair<double, double> MarginalTotals(AdversaryModel model, double epsilon,
+                                         int64_t worker_domain_size,
+                                         double delta) {
+  if (model == AdversaryModel::kWeak && worker_domain_size > 1) {
+    // Thm. 7.5 fails for weak privacy: cells that partition workers of the
+    // SAME establishment compose sequentially, costing d * epsilon.
+    return {epsilon * static_cast<double>(worker_domain_size),
+            delta * static_cast<double>(worker_domain_size)};
+  }
+  return {epsilon, delta};
+}
+
+}  // namespace
+
 Status PrivacyAccountant::ChargeMarginal(const std::string& description,
                                          double epsilon,
                                          int64_t worker_domain_size,
@@ -53,15 +72,53 @@ Status PrivacyAccountant::ChargeMarginal(const std::string& description,
   if (worker_domain_size < 1) {
     return Status::InvalidArgument("worker_domain_size must be >= 1");
   }
-  double total_epsilon = epsilon;
-  double total_delta = delta;
-  if (model_ == AdversaryModel::kWeak && worker_domain_size > 1) {
-    // Thm. 7.5 fails for weak privacy: cells that partition workers of the
-    // SAME establishment compose sequentially, costing d * epsilon.
-    total_epsilon = epsilon * static_cast<double>(worker_domain_size);
-    total_delta = delta * static_cast<double>(worker_domain_size);
-  }
+  const auto [total_epsilon, total_delta] =
+      MarginalTotals(model_, epsilon, worker_domain_size, delta);
   return Charge(description, total_epsilon, total_delta);
+}
+
+Status PrivacyAccountant::ChargeMarginalWorkload(
+    const std::vector<MarginalCharge>& marginals) {
+  if (marginals.empty()) {
+    return Status::InvalidArgument("workload charge needs >= 1 marginal");
+  }
+  // Validate and total first; apply only when the WHOLE workload fits, so a
+  // refusal leaves the ledger untouched.
+  double epsilon_sum = 0.0;
+  double delta_sum = 0.0;
+  for (const MarginalCharge& m : marginals) {
+    if (m.worker_domain_size < 1) {
+      return Status::InvalidArgument("worker_domain_size must be >= 1");
+    }
+    if (!(m.epsilon > 0.0) || !(m.delta >= 0.0)) {
+      return Status::InvalidArgument(
+          "charge must have epsilon > 0, delta >= 0");
+    }
+    const auto [total_epsilon, total_delta] =
+        MarginalTotals(model_, m.epsilon, m.worker_domain_size, m.delta);
+    epsilon_sum += total_epsilon;
+    delta_sum += total_delta;
+  }
+  constexpr double kSlack = 1e-12;  // tolerate float accumulation
+  if (spent_epsilon_ + epsilon_sum > epsilon_budget_ + kSlack) {
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: the workload costs " +
+        std::to_string(epsilon_sum) + " with " +
+        std::to_string(epsilon_budget_ - spent_epsilon_) +
+        " remaining; nothing was charged");
+  }
+  if (spent_delta_ + delta_sum > delta_budget_ + kSlack) {
+    return Status::ResourceExhausted(
+        "delta budget exhausted by the workload; nothing was charged");
+  }
+  for (const MarginalCharge& m : marginals) {
+    const auto [total_epsilon, total_delta] =
+        MarginalTotals(model_, m.epsilon, m.worker_domain_size, m.delta);
+    spent_epsilon_ += total_epsilon;
+    spent_delta_ += total_delta;
+    ledger_.push_back({m.description, total_epsilon, total_delta});
+  }
+  return Status::OK();
 }
 
 }  // namespace eep::privacy

@@ -60,6 +60,22 @@ class PrivacyAccountant {
   Status ChargeMarginal(const std::string& description, double epsilon,
                         int64_t worker_domain_size, double delta = 0.0);
 
+  /// \brief One marginal of an atomically charged workload.
+  struct MarginalCharge {
+    std::string description;
+    double epsilon = 0.0;
+    int64_t worker_domain_size = 1;
+    double delta = 0.0;
+  };
+
+  /// Charges a whole workload of marginals atomically: either every
+  /// marginal is charged (one ledger entry each, same rules as
+  /// ChargeMarginal) or — when the combined charge would exceed either
+  /// budget — nothing is and ResourceExhausted is returned. Release
+  /// runners use this so a refused workload never spends budget on tables
+  /// the caller does not receive.
+  Status ChargeMarginalWorkload(const std::vector<MarginalCharge>& marginals);
+
  private:
   PrivacyAccountant(double alpha, double eps, double delta,
                     AdversaryModel model)

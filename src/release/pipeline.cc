@@ -21,7 +21,7 @@ namespace {
 /// Work shared by the shard workers: everything here is read-only during
 /// the parallel phase except `rows` (disjoint slots) and the error state.
 struct ShardedRelease {
-  const ReleaseConfig* config = nullptr;
+  bool round_counts = true;
   const lodes::MarginalQuery* query = nullptr;
   const mechanisms::CountMechanism* mechanism = nullptr;
   /// Roots the per-shard substreams; never advanced after construction.
@@ -94,7 +94,7 @@ struct ShardedRelease {
     const auto t1 = std::chrono::steady_clock::now();
 
     const auto& codec = query->codec();
-    const size_t width = config->spec.AllColumns().size() + 1;
+    const size_t width = labels.size() + 1;
     for (size_t i = begin; i < end; ++i) {
       std::vector<std::string> row;
       row.reserve(width);
@@ -107,7 +107,7 @@ struct ShardedRelease {
         row.push_back(column_labels[codes[c]]);
       }
       const double value = released[i - begin];
-      if (config->round_counts) {
+      if (round_counts) {
         row.push_back(std::to_string(RoundNonNegative(value)));
       } else {
         char buf[32];
@@ -139,6 +139,66 @@ struct ShardedRelease {
   }
 };
 
+/// The noise + formatting stage shared by RunRelease and RunReleaseWorkload:
+/// shards the query's cells, draws shard k's noise from Substream(k) of
+/// `noise_root`, and formats labeled rows. `noise_root` must already fold
+/// in the shard size (see the derivation comment in RunRelease); timing, in
+/// ns of CPU summed across shard workers, accumulates into the non-null
+/// counters.
+Result<ReleasedTable> ReleaseQueryCells(
+    const lodes::LodesDataset& data, const lodes::MarginalQuery& query,
+    const mechanisms::CountMechanism& mechanism, bool round_counts,
+    size_t shard_size, size_t requested_threads, Rng noise_root,
+    int64_t* noise_ns, int64_t* format_ns) {
+  ReleasedTable out;
+  out.header = query.spec().AllColumns();
+  out.header.push_back("count");
+  out.rows.assign(query.cells().size(), {});
+
+  ShardedRelease shared;
+  shared.round_counts = round_counts;
+  shared.query = &query;
+  shared.mechanism = &mechanism;
+  shared.noise_root = noise_root;
+  shared.shard_size = shard_size;
+  shared.num_shards = (query.cells().size() + shard_size - 1) / shard_size;
+  shared.rows = &out.rows;
+  for (size_t column_index : query.codec().column_indices()) {
+    const auto& field = data.worker_full().schema().field(column_index);
+    if (field.dictionary == nullptr) {
+      return Status::Internal("marginal column has no dictionary");
+    }
+    shared.labels.push_back(&field.dictionary->values());
+  }
+
+  const size_t threads = std::clamp<size_t>(
+      requested_threads, 1, std::max<size_t>(1, shared.num_shards));
+
+  if (threads == 1) {
+    shared.Worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&shared] { shared.Worker(); });
+    }
+    for (auto& t : pool) t.join();
+  }
+  if (!shared.first_error.ok()) return shared.first_error;
+  if (noise_ns != nullptr) {
+    *noise_ns += shared.noise_ns.load(std::memory_order_relaxed);
+  }
+  if (format_ns != nullptr) {
+    *format_ns += shared.format_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+size_t ResolveThreads(int num_threads) {
+  return num_threads > 0 ? static_cast<size_t>(num_threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
 Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
@@ -149,10 +209,7 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
   if (config.shard_size < 1) {
     return Status::InvalidArgument("shard_size must be >= 1");
   }
-  const size_t requested_threads =
-      config.num_threads > 0
-          ? static_cast<size_t>(config.num_threads)
-          : std::max(1u, std::thread::hardware_concurrency());
+  const size_t requested_threads = ResolveThreads(config.num_threads);
   const auto group_by_start = std::chrono::steady_clock::now();
   EEP_ASSIGN_OR_RETURN(
       lodes::MarginalQuery query,
@@ -179,11 +236,6 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
         config.delta));
   }
 
-  ReleasedTable out;
-  out.header = config.spec.AllColumns();
-  out.header.push_back("count");
-  out.rows.assign(query.cells().size(), {});
-
   // Exactly one draw from the caller's stream roots every shard substream,
   // so the caller's rng advances the same way regardless of sharding or
   // thread count, and shard k's noise is a pure function of (that draw,
@@ -192,48 +244,106 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
   // sizes free of shared noise prefixes: without it, shard 0 of a
   // 64-cell-shard release would replay the first 64 draws of shard 0 of a
   // 4096-cell-shard release.
-  ShardedRelease shared;
-  shared.config = &config;
-  shared.query = &query;
-  shared.mechanism = mechanism.get();
-  shared.noise_root =
+  const Rng noise_root =
       Rng(rng.NextUint64()).Substream(static_cast<uint64_t>(config.shard_size));
-  shared.shard_size = static_cast<size_t>(config.shard_size);
-  shared.num_shards =
-      (query.cells().size() + shared.shard_size - 1) / shared.shard_size;
-  shared.rows = &out.rows;
-  for (size_t column_index : query.codec().column_indices()) {
-    const auto& field = data.worker_full().schema().field(column_index);
-    if (field.dictionary == nullptr) {
-      return Status::Internal("marginal column has no dictionary");
-    }
-    shared.labels.push_back(&field.dictionary->values());
-  }
-
-  const size_t threads = std::clamp<size_t>(
-      requested_threads, 1, std::max<size_t>(1, shared.num_shards));
-
-  if (threads == 1) {
-    shared.Worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t w = 0; w < threads; ++w) {
-      pool.emplace_back([&shared] { shared.Worker(); });
-    }
-    for (auto& t : pool) t.join();
-  }
-  if (!shared.first_error.ok()) return shared.first_error;
+  int64_t noise_ns = 0;
+  int64_t format_ns = 0;
+  EEP_ASSIGN_OR_RETURN(
+      ReleasedTable out,
+      ReleaseQueryCells(data, query, *mechanism, config.round_counts,
+                        static_cast<size_t>(config.shard_size),
+                        requested_threads, noise_root, &noise_ns,
+                        &format_ns));
   if (stats != nullptr) {
     stats->group_by_ms = group_by_ms;
-    stats->noise_ms =
-        static_cast<double>(shared.noise_ns.load(std::memory_order_relaxed)) *
-        1e-6;
-    stats->format_ms = static_cast<double>(
-                           shared.format_ns.load(std::memory_order_relaxed)) *
-                       1e-6;
+    stats->noise_ms = static_cast<double>(noise_ns) * 1e-6;
+    stats->format_ms = static_cast<double>(format_ns) * 1e-6;
   }
   return out;
+}
+
+Result<std::vector<ReleasedTable>> RunReleaseWorkload(
+    const lodes::LodesDataset& data, const WorkloadReleaseConfig& config,
+    privacy::PrivacyAccountant* accountant, Rng& rng,
+    table::GroupByCache* cache, WorkloadReleaseStats* stats) {
+  EEP_RETURN_NOT_OK(config.workload.Validate());
+  if (config.shard_size < 1) {
+    return Status::InvalidArgument("shard_size must be >= 1");
+  }
+  const size_t requested_threads = ResolveThreads(config.num_threads);
+
+  // One fused pass answers every marginal (lodes/workload.h): at most one
+  // full-table group-by, zero when `cache` already covers the workload.
+  lodes::WorkloadComputeStats compute_stats;
+  EEP_ASSIGN_OR_RETURN(
+      std::vector<lodes::MarginalQuery> queries,
+      lodes::ComputeWorkload(data, config.workload,
+                             static_cast<int>(requested_threads), cache,
+                             &compute_stats));
+
+  EEP_ASSIGN_OR_RETURN(auto mechanism,
+                       eval::MakeMechanism(config.mechanism, config.alpha,
+                                           config.epsilon, config.delta));
+  if (accountant != nullptr && accountant->alpha() != config.alpha) {
+    return Status::InvalidArgument(
+        "release alpha does not match the accountant's alpha");
+  }
+
+  // The whole workload is charged atomically BEFORE any noise is drawn: a
+  // BUDGET refusal charges nothing and releases nothing (unlike N
+  // sequential RunRelease calls, which deliver — and charge — every
+  // marginal before the refusal). Charging first is the safe order, same
+  // as RunRelease: noise must never be computed without budget backing it,
+  // so if a mechanism fails on some cell AFTER this point the charged
+  // budget is honestly forfeit (noise was already drawn) and no tables are
+  // returned.
+  if (accountant != nullptr) {
+    std::vector<privacy::PrivacyAccountant::MarginalCharge> charges;
+    charges.reserve(queries.size());
+    for (const lodes::MarginalQuery& query : queries) {
+      privacy::PrivacyAccountant::MarginalCharge charge;
+      charge.description = config.description + " [";
+      for (size_t c = 0; c < query.codec().columns().size(); ++c) {
+        if (c > 0) charge.description += ",";
+        charge.description += query.codec().columns()[c];
+      }
+      charge.description += "]";
+      charge.epsilon = config.epsilon;
+      charge.worker_domain_size = query.WorkerDomainSize();
+      charge.delta = config.delta;
+      charges.push_back(std::move(charge));
+    }
+    EEP_RETURN_NOT_OK(accountant->ChargeMarginalWorkload(charges));
+  }
+
+  // Per-marginal noise mirrors the independent path exactly: marginal i
+  // draws ONE value from the caller's rng to root its shard substreams —
+  // so the caller's stream advances identically to running RunRelease once
+  // per marginal, and every released table is bit-identical to its
+  // independent counterpart.
+  std::vector<ReleasedTable> tables;
+  tables.reserve(queries.size());
+  int64_t noise_ns = 0;
+  int64_t format_ns = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const lodes::MarginalQuery& query = queries[i];
+    const Rng noise_root = Rng(rng.NextUint64())
+                               .Substream(static_cast<uint64_t>(
+                                   config.shard_size));
+    EEP_ASSIGN_OR_RETURN(
+        ReleasedTable table,
+        ReleaseQueryCells(data, query, *mechanism, config.round_counts,
+                          static_cast<size_t>(config.shard_size),
+                          requested_threads, noise_root, &noise_ns,
+                          &format_ns));
+    tables.push_back(std::move(table));
+  }
+  if (stats != nullptr) {
+    stats->compute = std::move(compute_stats);
+    stats->noise_ms = static_cast<double>(noise_ns) * 1e-6;
+    stats->format_ms = static_cast<double>(format_ns) * 1e-6;
+  }
+  return tables;
 }
 
 }  // namespace eep::release

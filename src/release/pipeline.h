@@ -1,8 +1,13 @@
 // End-to-end release pipeline: what a statistical agency would actually
-// run. Takes a dataset, a marginal spec and a privacy target; charges the
-// privacy accountant (refusing to release when the budget is exhausted);
-// applies the chosen mechanism to every cell; emits a labeled, optionally
-// integer-rounded protected table ready for CSV publication.
+// run. Takes a dataset, a marginal spec (or a whole workload of them) and a
+// privacy target; charges the privacy accountant (refusing to release when
+// the budget is exhausted); applies the chosen mechanism to every cell;
+// emits labeled, optionally integer-rounded protected tables ready for CSV
+// publication.
+//
+// The noise-sharding determinism contract (released tables bit-identical
+// for every thread count, shard_size part of the noise derivation) is
+// documented in docs/ARCHITECTURE.md, "Noise sharding".
 #ifndef EEP_RELEASE_PIPELINE_H_
 #define EEP_RELEASE_PIPELINE_H_
 
@@ -13,7 +18,9 @@
 #include "common/status.h"
 #include "eval/workloads.h"
 #include "lodes/marginal.h"
+#include "lodes/workload.h"
 #include "privacy/accountant.h"
+#include "table/group_by_cache.h"
 
 namespace eep::release {
 
@@ -73,6 +80,53 @@ Result<ReleasedTable> RunRelease(const lodes::LodesDataset& data,
                                  const ReleaseConfig& config,
                                  privacy::PrivacyAccountant* accountant,
                                  Rng& rng, ReleaseStats* stats = nullptr);
+
+/// \brief Configuration of one fused workload release: every marginal of
+/// the workload under the same mechanism and per-cell privacy parameters.
+struct WorkloadReleaseConfig {
+  lodes::WorkloadSpec workload;
+  eval::MechanismKind mechanism = eval::MechanismKind::kSmoothLaplace;
+  double alpha = 0.1;
+  double epsilon = 1.0;
+  double delta = 0.0;
+  bool round_counts = true;
+  /// Ledger label; the accountant entry for each marginal appends its
+  /// column list.
+  std::string description = "workload release";
+  /// Same contracts as ReleaseConfig: the thread count never affects the
+  /// released tables, the shard size is part of the noise derivation.
+  int num_threads = 1;
+  int shard_size = 1024;
+};
+
+/// \brief Phase breakdown of one RunReleaseWorkload call. `compute`
+/// includes the proof obligation of the fused path: full_table_scans is at
+/// most 1 (0 when a caller-held cache already covered the workload).
+struct WorkloadReleaseStats {
+  lodes::WorkloadComputeStats compute;
+  /// Mechanism sampling / row formatting, CPU ns summed across shard
+  /// workers and marginals (same convention as ReleaseStats).
+  double noise_ms = 0.0;
+  double format_ms = 0.0;
+};
+
+/// Releases every marginal of a workload from ONE shared scan: the fused
+/// group-by + cube roll-ups of lodes::ComputeWorkload replace the
+/// per-marginal table scans, then each marginal is noised and formatted
+/// exactly like RunRelease would. Determinism contract: marginal i draws
+/// one rng value in workload order, so the caller's stream advances — and
+/// every released table is bit-identical to — running RunRelease once per
+/// marginal with the same config; thread count never changes the output.
+/// The accountant is charged for the WHOLE workload atomically before any
+/// noise is drawn (one ledger entry per marginal): a refusal returns
+/// ResourceExhausted with nothing charged and nothing released. `cache`,
+/// when non-null, carries groupings across calls so an overlapping
+/// workload skips the scan entirely.
+Result<std::vector<ReleasedTable>> RunReleaseWorkload(
+    const lodes::LodesDataset& data, const WorkloadReleaseConfig& config,
+    privacy::PrivacyAccountant* accountant, Rng& rng,
+    table::GroupByCache* cache = nullptr,
+    WorkloadReleaseStats* stats = nullptr);
 
 }  // namespace eep::release
 

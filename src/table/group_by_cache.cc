@@ -1,0 +1,154 @@
+#include "table/group_by_cache.h"
+
+#include <algorithm>
+
+#include "table/rollup.h"
+
+namespace eep::table {
+
+namespace {
+
+bool Covers(const std::vector<std::string>& superset,
+            const std::vector<std::string>& subset) {
+  return std::all_of(subset.begin(), subset.end(), [&](const auto& col) {
+    return std::find(superset.begin(), superset.end(), col) != superset.end();
+  });
+}
+
+size_t CountItems(const GroupedCounts& grouped) {
+  size_t items = 0;
+  for (const GroupedCell& cell : grouped.cells) {
+    items += cell.contributions.size();
+  }
+  return items;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const GroupedCounts>> GroupByCache::GetOrCompute(
+    const Table& table, const std::vector<std::string>& columns,
+    const std::string& estab_id_column, const GroupByOptions& options,
+    Outcome* outcome, std::vector<std::string>* source_columns) {
+  if (source_columns != nullptr) source_columns->clear();
+  // Holding the lock across the compute serializes concurrent misses — the
+  // point of the cache is to do the expensive work once, and letting two
+  // callers race the same scan would waste exactly what it exists to save.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_ == nullptr) {
+    table_ = &table;
+    estab_id_column_ = estab_id_column;
+  } else if (table_ != &table || estab_id_column_ != estab_id_column) {
+    return Status::InvalidArgument(
+        "GroupByCache is bound to a different table or establishment "
+        "column; use one cache per dataset");
+  }
+
+  if (auto it = entries_.find(columns); it != entries_.end()) {
+    ++stats_.exact_hits;
+    if (outcome != nullptr) *outcome = Outcome::kExactHit;
+    return it->second.grouped;
+  }
+
+  // Cheapest covering grouping = fewest roll-up input items.
+  const Entry* source = nullptr;
+  const std::vector<std::string>* source_key = nullptr;
+  for (const auto& [cached_columns, entry] : entries_) {
+    if (!Covers(cached_columns, columns)) continue;
+    if (source == nullptr || entry.num_items < source->num_items) {
+      source = &entry;
+      source_key = &cached_columns;
+    }
+  }
+
+  Entry entry;
+  if (source != nullptr) {
+    EEP_ASSIGN_OR_RETURN(GroupKeyCodec codec,
+                         GroupKeyCodec::Create(table.schema(), columns));
+    EEP_ASSIGN_OR_RETURN(GroupedCounts rolled,
+                         RollupGroupedCounts(*source->grouped,
+                                             std::move(codec),
+                                             options.num_threads));
+    entry.grouped = std::make_shared<const GroupedCounts>(std::move(rolled));
+    ++stats_.rollups;
+    if (outcome != nullptr) *outcome = Outcome::kRollup;
+    if (source_columns != nullptr) *source_columns = *source_key;
+  } else {
+    EEP_ASSIGN_OR_RETURN(GroupedCounts grouped,
+                         GroupCountByEstablishment(table, columns,
+                                                   estab_id_column, options));
+    entry.grouped = std::make_shared<const GroupedCounts>(std::move(grouped));
+    ++stats_.scans;
+    if (outcome != nullptr) *outcome = Outcome::kScan;
+  }
+  entry.num_items = CountItems(*entry.grouped);
+  return entries_.emplace(columns, std::move(entry)).first->second.grouped;
+}
+
+Result<std::shared_ptr<const std::vector<std::pair<uint64_t, int64_t>>>>
+GroupByCache::GetOrComputeKeyCounts(const Table& table,
+                                    const std::vector<std::string>& columns,
+                                    const GroupByOptions& options,
+                                    Outcome* outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keycount_table_ == nullptr) {
+    keycount_table_ = &table;
+  } else if (keycount_table_ != &table) {
+    return Status::InvalidArgument(
+        "GroupByCache key-count entries are bound to a different table; "
+        "use one cache per dataset");
+  }
+
+  if (auto it = keycount_entries_.find(columns);
+      it != keycount_entries_.end()) {
+    ++stats_.exact_hits;
+    if (outcome != nullptr) *outcome = Outcome::kExactHit;
+    return it->second.counts;
+  }
+
+  const KeyCountEntry* source = nullptr;
+  for (const auto& [cached_columns, entry] : keycount_entries_) {
+    if (!Covers(cached_columns, columns)) continue;
+    if (source == nullptr ||
+        entry.counts->size() < source->counts->size()) {
+      source = &entry;
+    }
+  }
+
+  EEP_ASSIGN_OR_RETURN(GroupKeyCodec codec,
+                       GroupKeyCodec::Create(table.schema(), columns));
+  std::vector<std::pair<uint64_t, int64_t>> counts;
+  if (source != nullptr) {
+    EEP_ASSIGN_OR_RETURN(counts,
+                         RollupKeyCounts(*source->counts, source->codec,
+                                         codec, options.num_threads));
+    ++stats_.rollups;
+    if (outcome != nullptr) *outcome = Outcome::kRollup;
+  } else {
+    EEP_ASSIGN_OR_RETURN(counts, GroupCount(table, codec, options));
+    ++stats_.scans;
+    if (outcome != nullptr) *outcome = Outcome::kScan;
+  }
+  KeyCountEntry entry{
+      std::make_shared<const std::vector<std::pair<uint64_t, int64_t>>>(
+          std::move(counts)),
+      std::move(codec)};
+  return keycount_entries_.emplace(columns, std::move(entry))
+      .first->second.counts;
+}
+
+GroupByCache::Stats GroupByCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void GroupByCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  table_ = nullptr;
+  estab_id_column_.clear();
+  entries_.clear();
+  keycount_table_ = nullptr;
+  keycount_entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace eep::table

@@ -1,0 +1,98 @@
+// A grouped-cell cache over one table: repeated group-bys skip the scan.
+//
+// The cache exploits the roll-up lattice (rollup.h): a request is served by
+// an exact cached match when one exists, else derived by cube roll-up from
+// any cached grouping whose column set covers the request (no table scan),
+// and only scans the table when neither applies. Because both the engine
+// and the roll-up are exact integer aggregations of the same row multiset,
+// every path returns bit-identical results — callers cannot observe which
+// one served them except through stats(). Entries are shared_ptrs, so a
+// workload holding a marginal alive keeps only that grouping pinned.
+//
+// The cache binds to the first (table, estab column) it serves and rejects
+// other tables: grouped counts are only reusable against the identical row
+// multiset. It is NOT invalidated by mutation of the underlying table —
+// callers own that (tables here are immutable after dataset construction).
+// All methods are thread-safe.
+#ifndef EEP_TABLE_GROUP_BY_CACHE_H_
+#define EEP_TABLE_GROUP_BY_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/group_by.h"
+
+namespace eep::table {
+
+class GroupByCache {
+ public:
+  /// How a GetOrCompute call was served.
+  enum class Outcome {
+    kExactHit,  ///< Cached grouping with exactly these columns.
+    kRollup,    ///< Derived from a cached superset grouping; no scan.
+    kScan,      ///< Full table scan (GroupCountByEstablishment).
+  };
+
+  struct Stats {
+    size_t exact_hits = 0;
+    size_t rollups = 0;
+    size_t scans = 0;
+  };
+
+  /// Returns the grouping of `columns` over `table`, scanning the table
+  /// only when no cached grouping covers the request. `outcome`, when
+  /// non-null, reports which path served the call; `source_columns`, when
+  /// non-null, receives the covering entry a kRollup was derived from (it
+  /// is cleared otherwise). Results are cached under their exact ordered
+  /// column list; the same columns in a different order are a different
+  /// grouping (different key packing) but still roll up from each other
+  /// without a scan.
+  Result<std::shared_ptr<const GroupedCounts>> GetOrCompute(
+      const Table& table, const std::vector<std::string>& columns,
+      const std::string& estab_id_column, const GroupByOptions& options = {},
+      Outcome* outcome = nullptr,
+      std::vector<std::string>* source_columns = nullptr);
+
+  /// Same serving policy for plain (key, count) groupings (GroupCount /
+  /// RollupKeyCounts), over their own table — typically the Workplace
+  /// table whose distinct attribute combinations define the released cell
+  /// domain, scanned once and projected per marginal. Outcomes count into
+  /// the same stats() as the establishment groupings.
+  Result<std::shared_ptr<const std::vector<std::pair<uint64_t, int64_t>>>>
+  GetOrComputeKeyCounts(const Table& table,
+                        const std::vector<std::string>& columns,
+                        const GroupByOptions& options = {},
+                        Outcome* outcome = nullptr);
+
+  Stats stats() const;
+
+  /// Drops all entries and the table bindings.
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const GroupedCounts> grouped;
+    size_t num_items = 0;  ///< Total contributions: roll-up input size.
+  };
+  struct KeyCountEntry {
+    std::shared_ptr<const std::vector<std::pair<uint64_t, int64_t>>> counts;
+    GroupKeyCodec codec;  ///< Needed to roll the entry up further.
+  };
+
+  mutable std::mutex mu_;
+  const Table* table_ = nullptr;
+  std::string estab_id_column_;
+  std::map<std::vector<std::string>, Entry> entries_;
+  const Table* keycount_table_ = nullptr;
+  std::map<std::vector<std::string>, KeyCountEntry> keycount_entries_;
+  Stats stats_;
+};
+
+}  // namespace eep::table
+
+#endif  // EEP_TABLE_GROUP_BY_CACHE_H_

@@ -261,9 +261,24 @@ std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
   return keys;
 }
 
-std::vector<GroupedCell> AggregateByKeyAndEstab(
+namespace {
+
+/// Weight of one input item in the run-compression phase: the unweighted
+/// entry points count each row once, the weighted ones read the caller's
+/// weight array. Summing weights over a run generalizes the original
+/// run-length (j - i) without changing it for unit weights.
+struct UnitWeight {
+  int64_t operator()(size_t) const { return 1; }
+};
+struct SpanWeight {
+  const int64_t* w;
+  int64_t operator()(size_t i) const { return w[i]; }
+};
+
+template <typename WeightFn>
+std::vector<GroupedCell> AggregateByKeyAndEstabImpl(
     std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
-    uint64_t domain_size, int num_threads) {
+    WeightFn weight_of, uint64_t domain_size, int num_threads) {
   assert(estab_ids.size() == keys.size());
   assert(domain_size > 0);
   const size_t n = keys.size();
@@ -282,11 +297,14 @@ std::vector<GroupedCell> AggregateByKeyAndEstab(
     while (i < end) {
       const uint64_t key = keys[i];
       const int64_t estab = estab_ids[i];
+      int64_t weight = weight_of(i);
       size_t j = i + 1;
-      while (j < end && keys[j] == key && estab_ids[j] == estab) ++j;
+      while (j < end && keys[j] == key && estab_ids[j] == estab) {
+        weight += weight_of(j++);
+      }
       block.keys.push_back(key);
       block.estabs.push_back(estab);
-      block.weights.push_back(static_cast<int64_t>(j - i));
+      block.weights.push_back(weight);
       ++block.hist[key >> plan.shift];
       block.min_estab = std::min(block.min_estab, estab);
       block.max_estab = std::max(block.max_estab, estab);
@@ -369,8 +387,10 @@ std::vector<GroupedCell> AggregateByKeyAndEstab(
   return ConcatPartitions(std::move(per_partition));
 }
 
-std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
-    std::vector<uint64_t> keys, uint64_t domain_size, int num_threads) {
+template <typename WeightFn>
+std::vector<std::pair<uint64_t, int64_t>> AggregateByKeyImpl(
+    std::vector<uint64_t> keys, WeightFn weight_of, uint64_t domain_size,
+    int num_threads) {
   assert(domain_size > 0);
   const size_t n = keys.size();
   if (n == 0) return {};
@@ -387,10 +407,11 @@ std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
     size_t i = begin;
     while (i < end) {
       const uint64_t key = keys[i];
+      int64_t weight = weight_of(i);
       size_t j = i + 1;
-      while (j < end && keys[j] == key) ++j;
+      while (j < end && keys[j] == key) weight += weight_of(j++);
       block.keys.push_back(key);
-      block.weights.push_back(static_cast<int64_t>(j - i));
+      block.weights.push_back(weight);
       ++block.hist[key >> plan.shift];
       i = j;
     }
@@ -441,6 +462,39 @@ std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
     result.insert(result.end(), runs.begin(), runs.end());
   }
   return result;
+}
+
+}  // namespace
+
+std::vector<GroupedCell> AggregateByKeyAndEstab(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
+    uint64_t domain_size, int num_threads) {
+  return AggregateByKeyAndEstabImpl(std::move(keys), estab_ids, UnitWeight{},
+                                    domain_size, num_threads);
+}
+
+std::vector<GroupedCell> AggregateWeightedByKeyAndEstab(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
+    const std::vector<int64_t>& weights, uint64_t domain_size,
+    int num_threads) {
+  assert(weights.size() == keys.size());
+  return AggregateByKeyAndEstabImpl(std::move(keys), estab_ids,
+                                    SpanWeight{weights.data()}, domain_size,
+                                    num_threads);
+}
+
+std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
+    std::vector<uint64_t> keys, uint64_t domain_size, int num_threads) {
+  return AggregateByKeyImpl(std::move(keys), UnitWeight{}, domain_size,
+                            num_threads);
+}
+
+std::vector<std::pair<uint64_t, int64_t>> AggregateWeightedByKey(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& weights,
+    uint64_t domain_size, int num_threads) {
+  assert(weights.size() == keys.size());
+  return AggregateByKeyImpl(std::move(keys), SpanWeight{weights.data()},
+                            domain_size, num_threads);
 }
 
 }  // namespace eep::table

@@ -17,8 +17,9 @@
 // rows — range partitioning preserves key order across partitions and the
 // per-partition result is a function of the partition's multiset alone —
 // so it is bit-identical for every thread count and partition count. The
-// release pipeline's cross-thread-count reproducibility guarantee relies
-// on this.
+// release pipeline's cross-thread-count reproducibility guarantee and the
+// exactness of the cube roll-ups (rollup.h) rely on this; see
+// docs/ARCHITECTURE.md, "Thread/partition-invariant group-by".
 #ifndef EEP_TABLE_PARTITIONED_GROUP_BY_H_
 #define EEP_TABLE_PARTITIONED_GROUP_BY_H_
 
@@ -53,6 +54,25 @@ std::vector<GroupedCell> AggregateByKeyAndEstab(
 /// count.
 std::vector<std::pair<uint64_t, int64_t>> AggregateByKey(
     std::vector<uint64_t> keys, uint64_t domain_size, int num_threads);
+
+/// Weighted form of AggregateByKeyAndEstab: item i carries weights[i]
+/// instead of an implicit weight of 1, so already-aggregated inputs (e.g.
+/// the contribution items of a finer grouping being rolled up to a coarser
+/// key domain — see rollup.h) re-aggregate through the same run-compression
+/// and partitioned-sort machinery. Weights sum per (key, estab) pair; the
+/// result is exactly what AggregateByKeyAndEstab would return on the
+/// expansion of each item into weights[i] unit rows, and is deterministic
+/// for every thread count. Requires weights.size() == keys.size().
+std::vector<GroupedCell> AggregateWeightedByKeyAndEstab(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& estab_ids,
+    const std::vector<int64_t>& weights, uint64_t domain_size,
+    int num_threads);
+
+/// Weighted form of AggregateByKey, same contract as above without the
+/// establishment breakdown.
+std::vector<std::pair<uint64_t, int64_t>> AggregateWeightedByKey(
+    std::vector<uint64_t> keys, const std::vector<int64_t>& weights,
+    uint64_t domain_size, int num_threads);
 
 }  // namespace eep::table
 

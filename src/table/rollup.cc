@@ -1,0 +1,91 @@
+#include "table/rollup.h"
+
+#include <algorithm>
+
+#include "table/partitioned_group_by.h"
+
+namespace eep::table {
+
+Result<KeyProjection> KeyProjection::Create(const GroupKeyCodec& base,
+                                            const GroupKeyCodec& coarse) {
+  KeyProjection proj;
+  proj.digits_.resize(coarse.columns().size());
+  // Coarse strides, innermost digit last (mixed-radix place values).
+  uint64_t stride = 1;
+  for (size_t j = coarse.columns().size(); j-- > 0;) {
+    proj.digits_[j].stride = stride;
+    stride *= coarse.radices()[j];
+  }
+  proj.coarse_domain_size_ = stride;
+  for (size_t j = 0; j < coarse.columns().size(); ++j) {
+    const auto& name = coarse.columns()[j];
+    const auto& base_columns = base.columns();
+    const auto it = std::find(base_columns.begin(), base_columns.end(), name);
+    if (it == base_columns.end()) {
+      return Status::InvalidArgument("roll-up column '" + name +
+                                     "' is not part of the base grouping");
+    }
+    const size_t i = static_cast<size_t>(it - base_columns.begin());
+    if (base.radices()[i] != coarse.radices()[j]) {
+      return Status::InvalidArgument(
+          "roll-up column '" + name +
+          "' has a different radix in the base grouping (different "
+          "dictionary?)");
+    }
+    proj.digits_[j].radix = base.radices()[i];
+    uint64_t div = 1;
+    for (size_t k = i + 1; k < base.radices().size(); ++k) {
+      div *= base.radices()[k];
+    }
+    proj.digits_[j].div = div;
+  }
+  return proj;
+}
+
+Result<GroupedCounts> RollupGroupedCounts(const GroupedCounts& base,
+                                          GroupKeyCodec coarse_codec,
+                                          int num_threads) {
+  EEP_ASSIGN_OR_RETURN(KeyProjection proj,
+                       KeyProjection::Create(base.codec, coarse_codec));
+  size_t items = 0;
+  for (const GroupedCell& cell : base.cells) items += cell.contributions.size();
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> estabs;
+  std::vector<int64_t> weights;
+  keys.reserve(items);
+  estabs.reserve(items);
+  weights.reserve(items);
+  for (const GroupedCell& cell : base.cells) {
+    const uint64_t key = proj.Project(cell.key);
+    for (const EstabContribution& c : cell.contributions) {
+      keys.push_back(key);
+      estabs.push_back(c.estab_id);
+      weights.push_back(c.count);
+    }
+  }
+  GroupedCounts result{std::move(coarse_codec), {}};
+  result.cells =
+      AggregateWeightedByKeyAndEstab(std::move(keys), estabs, weights,
+                                     proj.coarse_domain_size(), num_threads);
+  return result;
+}
+
+Result<std::vector<std::pair<uint64_t, int64_t>>> RollupKeyCounts(
+    const std::vector<std::pair<uint64_t, int64_t>>& base,
+    const GroupKeyCodec& base_codec, const GroupKeyCodec& coarse_codec,
+    int num_threads) {
+  EEP_ASSIGN_OR_RETURN(KeyProjection proj,
+                       KeyProjection::Create(base_codec, coarse_codec));
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> weights;
+  keys.reserve(base.size());
+  weights.reserve(base.size());
+  for (const auto& [key, count] : base) {
+    keys.push_back(proj.Project(key));
+    weights.push_back(count);
+  }
+  return AggregateWeightedByKey(std::move(keys), weights,
+                                proj.coarse_domain_size(), num_threads);
+}
+
+}  // namespace eep::table

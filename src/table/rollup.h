@@ -1,0 +1,79 @@
+// Data-cube roll-ups over grouped counts: derive the grouping of a coarser
+// column subset from an already-computed finer grouping, without touching
+// the base table again.
+//
+// A grouped count is a pure function of the (key, estab) multiset with
+// integer weights, so re-aggregating the finer grouping's items under the
+// projected coarse key yields EXACTLY the result a direct group-by on the
+// coarse columns would produce — bit-identical cells, counts and
+// contribution lists, for every thread count (see the determinism contract
+// in partitioned_group_by.h and docs/ARCHITECTURE.md). This is what lets a
+// workload of marginals share one full-table scan: compute the finest
+// common cross-classification once, then roll every coarser marginal up
+// from it (lodes/workload.h) or serve it from a cache (group_by_cache.h).
+#ifndef EEP_TABLE_ROLLUP_H_
+#define EEP_TABLE_ROLLUP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/group_by.h"
+
+namespace eep::table {
+
+/// \brief Arithmetic projection from a finer packed key domain onto a
+/// coarser one: keeps the digits of the coarse codec's columns (in the
+/// coarse codec's order, which may permute the base order) and sums out the
+/// rest. Built once per roll-up; Project is a handful of multiply-divides
+/// per key.
+class KeyProjection {
+ public:
+  /// Requires every coarse column to appear in the base codec with the same
+  /// radix (same dictionary); column order may differ.
+  static Result<KeyProjection> Create(const GroupKeyCodec& base,
+                                      const GroupKeyCodec& coarse);
+
+  /// Projects one base key onto the coarse domain.
+  uint64_t Project(uint64_t base_key) const {
+    uint64_t key = 0;
+    for (const Digit& d : digits_) {
+      key += ((base_key / d.div) % d.radix) * d.stride;
+    }
+    return key;
+  }
+
+  uint64_t coarse_domain_size() const { return coarse_domain_size_; }
+
+ private:
+  struct Digit {
+    uint64_t div = 1;     ///< Product of base radices packed after the digit.
+    uint64_t radix = 1;   ///< The digit's own radix.
+    uint64_t stride = 1;  ///< Product of coarse radices packed after it.
+  };
+  std::vector<Digit> digits_;
+  uint64_t coarse_domain_size_ = 1;
+};
+
+/// Rolls `base` up to the cross-classification of `coarse_codec`'s columns
+/// (a subset — in any order — of the base codec's columns, built against
+/// the same schema). Every (cell, contribution) item of the base re-enters
+/// the weighted partitioned aggregation under its projected key, so the
+/// result is bit-identical to GroupCountByEstablishment on the coarse
+/// columns directly, at the cost of |base items| instead of |table rows|.
+Result<GroupedCounts> RollupGroupedCounts(const GroupedCounts& base,
+                                          GroupKeyCodec coarse_codec,
+                                          int num_threads = 1);
+
+/// Plain-count form: rolls key-sorted (key, count) pairs in the base
+/// codec's domain up to the coarse codec's domain. Bit-identical to
+/// GroupCount on the coarse columns directly.
+Result<std::vector<std::pair<uint64_t, int64_t>>> RollupKeyCounts(
+    const std::vector<std::pair<uint64_t, int64_t>>& base,
+    const GroupKeyCodec& base_codec, const GroupKeyCodec& coarse_codec,
+    int num_threads = 1);
+
+}  // namespace eep::table
+
+#endif  // EEP_TABLE_ROLLUP_H_

@@ -1,6 +1,8 @@
 // Paper-scale regression: generates the 1:1 LODES extract preset
-// (GeneratorConfig::PaperExtract, 10.9M jobs) and checks that the sharded
-// release pipeline stays bit-identical across thread counts at that scale.
+// (GeneratorConfig::PaperExtract, 10.9M jobs) and checks that the columnar
+// group-by, the fused workload engine (one shared scan + cube roll-ups vs
+// independent MarginalQuery::Compute) and the sharded release pipeline all
+// stay bit-identical across thread counts at that scale.
 //
 // Minutes of CPU and gigabytes of RAM: the test body only runs when
 // EEP_SLOW_TESTS is set, and its CTest entry carries the `slow` label so
@@ -12,6 +14,7 @@
 
 #include "lodes/generator.h"
 #include "lodes/marginal.h"
+#include "lodes/workload.h"
 #include "release/pipeline.h"
 #include "table/group_by.h"
 
@@ -65,6 +68,40 @@ TEST(PaperScaleTest, PaperExtractReleasesBitIdenticallyAcrossThreads) {
           ASSERT_EQ(a.contributions[c].estab_id,
                     b.contributions[c].estab_id);
           ASSERT_EQ(a.contributions[c].count, b.contributions[c].count);
+        }
+      }
+    }
+  }
+
+  // Fused workload engine at full scale: both paper tabulations from ONE
+  // 10.9M-row group-by, every derived cell equal to the independent
+  // MarginalQuery::Compute, for every thread count.
+  {
+    std::vector<lodes::MarginalQuery> independent;
+    for (const auto& spec : lodes::WorkloadSpec::PaperTabulations().marginals) {
+      independent.push_back(lodes::MarginalQuery::Compute(data, spec).value());
+    }
+    for (int threads : {1, 2, 4, 8}) {
+      lodes::WorkloadComputeStats stats;
+      auto fused = lodes::ComputeWorkload(
+          data, lodes::WorkloadSpec::PaperTabulations(), threads,
+          /*cache=*/nullptr, &stats);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      ASSERT_EQ(stats.full_table_scans, 1) << "threads=" << threads;
+      for (size_t m = 0; m < independent.size(); ++m) {
+        const auto& expected = independent[m].cells();
+        const auto& actual = fused.value()[m].cells();
+        ASSERT_EQ(expected.size(), actual.size())
+            << "marginal " << m << " threads " << threads;
+        for (size_t i = 0; i < expected.size(); ++i) {
+          ASSERT_EQ(expected[i].key, actual[i].key) << "threads=" << threads;
+          ASSERT_EQ(expected[i].count, actual[i].count)
+              << "threads=" << threads;
+          ASSERT_EQ(expected[i].x_v, actual[i].x_v) << "threads=" << threads;
+          ASSERT_EQ(expected[i].num_estabs, actual[i].num_estabs)
+              << "threads=" << threads;
+          ASSERT_EQ(expected[i].place_code, actual[i].place_code)
+              << "threads=" << threads;
         }
       }
     }

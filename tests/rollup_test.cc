@@ -1,0 +1,245 @@
+// Cube roll-up correctness: a grouping derived by RollupGroupedCounts /
+// RollupKeyCounts from a finer grouping must be BIT-IDENTICAL to grouping
+// the table directly on the coarse columns, for every thread count and any
+// column-subset shape (suffix, prefix, middle, permuted). Also covers the
+// weighted aggregation primitives the roll-up rides on and the
+// GroupByCache serving policy (exact hit / superset roll-up / scan).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "table/group_by.h"
+#include "table/group_by_cache.h"
+#include "table/partitioned_group_by.h"
+#include "table/rollup.h"
+#include "table/table.h"
+
+namespace eep::table {
+namespace {
+
+std::vector<std::string> MakeValues(uint32_t n, const std::string& prefix) {
+  std::vector<std::string> values;
+  for (uint32_t i = 0; i < n; ++i) {
+    values.push_back(prefix + std::to_string(i));
+  }
+  return values;
+}
+
+/// A random table with three categorical columns (radices 5, 3, 4) and an
+/// int64 establishment column.
+Table MakeRandomTable(uint64_t seed, size_t num_rows, int num_estabs) {
+  Rng rng(seed);
+  auto dict_a = Dictionary::Create(MakeValues(5, "a")).value();
+  auto dict_b = Dictionary::Create(MakeValues(3, "b")).value();
+  auto dict_c = Dictionary::Create(MakeValues(4, "c")).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"attr_a", DataType::kCategory, dict_a},
+                                {"attr_b", DataType::kCategory, dict_b},
+                                {"attr_c", DataType::kCategory, dict_c}})
+                    .value();
+  std::vector<int64_t> estabs(num_rows);
+  std::vector<uint32_t> as(num_rows), bs(num_rows), cs(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    estabs[i] = rng.UniformInt(1, num_estabs);
+    as[i] = static_cast<uint32_t>(rng.UniformInt(0, 4));
+    bs[i] = static_cast<uint32_t>(rng.UniformInt(0, 2));
+    cs[i] = static_cast<uint32_t>(rng.UniformInt(0, 3));
+  }
+  return Table::Create(schema,
+                       {Column::OfInt64(estabs), Column::OfCategory(as),
+                        Column::OfCategory(bs), Column::OfCategory(cs)})
+      .value();
+}
+
+void ExpectCellsEqual(const std::vector<GroupedCell>& expected,
+                      const std::vector<GroupedCell>& actual,
+                      const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const GroupedCell& e = expected[i];
+    const GroupedCell& a = actual[i];
+    ASSERT_EQ(e.key, a.key) << context << " cell " << i;
+    ASSERT_EQ(e.count, a.count) << context << " cell " << i;
+    ASSERT_EQ(e.contributions.size(), a.contributions.size())
+        << context << " cell " << i;
+    for (size_t c = 0; c < e.contributions.size(); ++c) {
+      ASSERT_EQ(e.contributions[c].estab_id, a.contributions[c].estab_id)
+          << context << " cell " << i;
+      ASSERT_EQ(e.contributions[c].count, a.contributions[c].count)
+          << context << " cell " << i;
+    }
+  }
+}
+
+TEST(RollupTest, MatchesDirectGroupByForEverySubsetShapeAndThreadCount) {
+  const Table t = MakeRandomTable(/*seed=*/11, /*num_rows=*/20000,
+                                  /*num_estabs=*/150);
+  const GroupedCounts base =
+      GroupCountByEstablishment(t, {"attr_a", "attr_b", "attr_c"}, "estab")
+          .value();
+  const std::vector<std::vector<std::string>> subsets = {
+      {"attr_a", "attr_b"},            // drop the innermost digit
+      {"attr_b", "attr_c"},            // drop the outermost digit
+      {"attr_a", "attr_c"},            // drop a middle digit
+      {"attr_c", "attr_a"},            // permuted order
+      {"attr_b"},                      // single column
+      {"attr_a", "attr_b", "attr_c"},  // identity projection
+  };
+  for (const auto& columns : subsets) {
+    const GroupedCounts direct =
+        GroupCountByEstablishment(t, columns, "estab").value();
+    for (int threads : {1, 2, 4, 8}) {
+      GroupKeyCodec codec = GroupKeyCodec::Create(t.schema(), columns).value();
+      const GroupedCounts rolled =
+          RollupGroupedCounts(base, std::move(codec), threads).value();
+      std::string context = "columns={";
+      for (const auto& c : columns) context += c + ",";
+      context += "} threads=" + std::to_string(threads);
+      ExpectCellsEqual(direct.cells, rolled.cells, context);
+    }
+  }
+}
+
+TEST(RollupTest, RollupFromIntermediateGroupingStaysExact) {
+  // Lattice step: base (a,b,c) -> (a,b) -> (b) must equal a direct
+  // group-by on (b); roll-ups compose because each is exact.
+  const Table t = MakeRandomTable(/*seed=*/23, /*num_rows=*/8000,
+                                  /*num_estabs=*/60);
+  const GroupedCounts base =
+      GroupCountByEstablishment(t, {"attr_a", "attr_b", "attr_c"}, "estab")
+          .value();
+  const GroupedCounts mid =
+      RollupGroupedCounts(
+          base, GroupKeyCodec::Create(t.schema(), {"attr_a", "attr_b"}).value(),
+          2)
+          .value();
+  const GroupedCounts leaf =
+      RollupGroupedCounts(
+          mid, GroupKeyCodec::Create(t.schema(), {"attr_b"}).value(), 3)
+          .value();
+  const GroupedCounts direct =
+      GroupCountByEstablishment(t, {"attr_b"}, "estab").value();
+  ExpectCellsEqual(direct.cells, leaf.cells, "two-step lattice");
+}
+
+TEST(RollupTest, KeyCountsMatchDirectGroupCount) {
+  const Table t = MakeRandomTable(/*seed=*/31, /*num_rows=*/12000,
+                                  /*num_estabs=*/40);
+  const GroupKeyCodec base_codec =
+      GroupKeyCodec::Create(t.schema(), {"attr_a", "attr_b", "attr_c"})
+          .value();
+  const auto base = GroupCount(t, base_codec).value();
+  for (const std::vector<std::string>& columns :
+       {std::vector<std::string>{"attr_a", "attr_c"},
+        std::vector<std::string>{"attr_c", "attr_b"}}) {
+    const GroupKeyCodec coarse_codec =
+        GroupKeyCodec::Create(t.schema(), columns).value();
+    const auto direct = GroupCount(t, coarse_codec).value();
+    for (int threads : {1, 2, 4, 8}) {
+      const auto rolled =
+          RollupKeyCounts(base, base_codec, coarse_codec, threads).value();
+      EXPECT_EQ(direct, rolled) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RollupTest, RejectsColumnsOutsideTheBaseGrouping) {
+  const Table t = MakeRandomTable(/*seed=*/5, /*num_rows=*/100,
+                                  /*num_estabs=*/5);
+  const GroupedCounts base =
+      GroupCountByEstablishment(t, {"attr_a", "attr_b"}, "estab").value();
+  auto result = RollupGroupedCounts(
+      base, GroupKeyCodec::Create(t.schema(), {"attr_c"}).value(), 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(WeightedAggregateTest, MatchesUnweightedExpansion) {
+  // Weighted items must aggregate exactly like their expansion into unit
+  // rows — the invariant the roll-up relies on.
+  Rng rng(77);
+  std::vector<uint64_t> keys, expanded_keys;
+  std::vector<int64_t> estabs, weights, expanded_estabs;
+  const uint64_t domain = 97;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 96));
+    const int64_t estab = rng.UniformInt(1, 30);
+    const int64_t weight = rng.UniformInt(1, 4);
+    keys.push_back(key);
+    estabs.push_back(estab);
+    weights.push_back(weight);
+    for (int64_t w = 0; w < weight; ++w) {
+      expanded_keys.push_back(key);
+      expanded_estabs.push_back(estab);
+    }
+  }
+  const auto expected =
+      AggregateByKeyAndEstab(expanded_keys, expanded_estabs, domain, 1);
+  for (int threads : {1, 2, 4, 8}) {
+    const auto actual = AggregateWeightedByKeyAndEstab(keys, estabs, weights,
+                                                       domain, threads);
+    ExpectCellsEqual(expected, actual,
+                     "threads=" + std::to_string(threads));
+  }
+  const auto plain_expected = AggregateByKey(expanded_keys, domain, 1);
+  for (int threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(plain_expected,
+              AggregateWeightedByKey(keys, weights, domain, threads))
+        << "threads=" << threads;
+  }
+}
+
+TEST(GroupByCacheTest, ServesExactHitsThenRollupsAndScansOnlyOnce) {
+  const Table t = MakeRandomTable(/*seed=*/41, /*num_rows=*/10000,
+                                  /*num_estabs=*/80);
+  GroupByCache cache;
+  GroupByCache::Outcome outcome;
+
+  auto base = cache.GetOrCompute(t, {"attr_a", "attr_b", "attr_c"}, "estab",
+                                 {}, &outcome);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kScan);
+
+  // Same columns again: the identical shared grouping, no recompute.
+  auto again = cache.GetOrCompute(t, {"attr_a", "attr_b", "attr_c"}, "estab",
+                                  {}, &outcome);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kExactHit);
+  EXPECT_EQ(base.value().get(), again.value().get());
+
+  // A subset: derived from the cached superset, and bit-identical to a
+  // direct scan.
+  std::vector<std::string> source;
+  auto subset = cache.GetOrCompute(t, {"attr_b", "attr_a"}, "estab", {},
+                                   &outcome, &source);
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kRollup);
+  EXPECT_EQ(source,
+            (std::vector<std::string>{"attr_a", "attr_b", "attr_c"}));
+  const GroupedCounts direct =
+      GroupCountByEstablishment(t, {"attr_b", "attr_a"}, "estab").value();
+  ExpectCellsEqual(direct.cells, subset.value()->cells,
+                   "cache rollup");
+
+  const GroupByCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.scans, 1u);
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.rollups, 1u);
+}
+
+TEST(GroupByCacheTest, RejectsADifferentTableAndResetsOnClear) {
+  const Table t1 = MakeRandomTable(/*seed=*/1, /*num_rows=*/500,
+                                   /*num_estabs=*/10);
+  const Table t2 = MakeRandomTable(/*seed=*/2, /*num_rows=*/500,
+                                   /*num_estabs=*/10);
+  GroupByCache cache;
+  ASSERT_TRUE(cache.GetOrCompute(t1, {"attr_a"}, "estab").ok());
+  EXPECT_FALSE(cache.GetOrCompute(t2, {"attr_a"}, "estab").ok());
+  EXPECT_FALSE(cache.GetOrCompute(t1, {"attr_a"}, "attr_a").ok());
+  cache.Clear();
+  EXPECT_TRUE(cache.GetOrCompute(t2, {"attr_a"}, "estab").ok());
+  EXPECT_EQ(cache.stats().scans, 1u);
+}
+
+}  // namespace
+}  // namespace eep::table

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans the repo's markdown files and verifies that every relative link
+target exists (anchors are stripped; external http(s)/mailto links are
+not fetched). Exits nonzero listing each broken link, so documentation
+cannot silently point at files that were moved or deleted.
+
+Usage: tools/check_docs.py [repo_root]
+"""
+import os
+import re
+import sys
+
+# Inline markdown links [text](target), skipping images' leading "!" is
+# unnecessary (image targets must exist too).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+DOC_GLOBS = ["README.md", "ROADMAP.md", "CHANGES.md", "PAPERS.md",
+             "SNIPPETS.md", "ISSUE.md", "PAPER.md"]
+
+
+def markdown_files(root):
+    for name in DOC_GLOBS:
+        path = os.path.join(root, name)
+        if os.path.exists(path):
+            yield path
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for entry in sorted(os.listdir(docs)):
+            if entry.endswith(".md"):
+                yield os.path.join(docs, entry)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield number, match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        for number, target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure in-page anchor
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), number, target))
+    for path, number, target in broken:
+        print(f"BROKEN {path}:{number}: {target}")
+    print(f"checked {checked} relative links in "
+          f"{len(list(markdown_files(root)))} markdown files; "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Extracts the quickstart block from README.md (the fenced ```sh block
+# following the <!-- readme-quickstart --> marker) and executes it
+# verbatim from the repo root — the docs CI job runs this, so the
+# README's build/test/run commands are literally what CI exercises and
+# cannot rot.
+#
+# Usage: tools/readme_quickstart.sh [repo_root]
+set -euo pipefail
+
+root="${1:-.}"
+cd "$root"
+
+script="$(awk '
+  /<!-- readme-quickstart -->/ { seen = 1; next }
+  seen && /^```sh$/ { in_block = 1; next }
+  in_block && /^```$/ { exit }
+  in_block { print }
+' README.md)"
+
+if [ -z "$script" ]; then
+  echo "FAIL: no \`\`\`sh block after <!-- readme-quickstart --> in README.md" >&2
+  exit 1
+fi
+
+echo "=== README quickstart block ==="
+printf '%s\n' "$script"
+echo "==============================="
+bash -euxo pipefail -c "$script"
