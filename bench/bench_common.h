@@ -10,6 +10,9 @@
 //   --trials=N    Monte-Carlo trials      (default 5, paper: 20)
 //   --seed=N      generator seed          (default 42)
 //   --threads=N   trial worker threads    (default 1; results identical)
+//   --json=PATH   additionally write the bench's measurements as a JSON
+//                 document (BenchJson below) so CI can track the perf
+//                 trajectory machine-readably instead of prose-only
 // --paper (or scaling --jobs to 10900000 by hand) reproduces the paper's
 // extract 1:1 (slower; add --threads to compensate).
 #ifndef EEP_BENCH_BENCH_COMMON_H_
@@ -19,8 +22,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -42,6 +47,165 @@ inline double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// \brief A minimal ordered JSON document builder for machine-readable
+/// bench output (the --json flag): objects keep insertion order, numbers
+/// print as integers when they are integral, strings are escaped. No
+/// external dependency, mirrors the subset the CI speedup recorder
+/// (tools/record_speedups.py) consumes.
+class BenchJson {
+ public:
+  BenchJson() = default;
+
+  static BenchJson Num(double value) {
+    BenchJson v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+  static BenchJson Str(std::string value) {
+    BenchJson v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(value);
+    return v;
+  }
+  static BenchJson Bool(bool value) {
+    BenchJson v;
+    v.kind_ = Kind::kBool;
+    v.number_ = value ? 1.0 : 0.0;
+    return v;
+  }
+  static BenchJson Array() {
+    BenchJson v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  /// Object field access, creating the field (and making this value an
+  /// object) on first use.
+  BenchJson& operator[](const std::string& key) {
+    kind_ = Kind::kObject;
+    for (auto& [k, v] : object_) {
+      if (k == key) return v;
+    }
+    object_.emplace_back(key, BenchJson());
+    return object_.back().second;
+  }
+
+  BenchJson& Append(BenchJson value) {
+    kind_ = Kind::kArray;
+    array_.push_back(std::move(value));
+    return array_.back();
+  }
+
+  void Dump(std::ostream& out, int indent = 0) const {
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    const std::string pad_in(static_cast<size_t>(indent) + 2, ' ');
+    switch (kind_) {
+      case Kind::kNull:
+        out << "null";
+        break;
+      case Kind::kBool:
+        out << (number_ != 0.0 ? "true" : "false");
+        break;
+      case Kind::kNumber: {
+        const long long ll = static_cast<long long>(number_);
+        if (static_cast<double>(ll) == number_) {
+          out << ll;
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.6g", number_);
+          out << buf;
+        }
+        break;
+      }
+      case Kind::kString:
+        WriteEscaped(out, string_);
+        break;
+      case Kind::kObject: {
+        out << "{";
+        bool first = true;
+        for (const auto& [k, v] : object_) {
+          out << (first ? "\n" : ",\n") << pad_in;
+          WriteEscaped(out, k);
+          out << ": ";
+          v.Dump(out, indent + 2);
+          first = false;
+        }
+        out << "\n" << pad << "}";
+        break;
+      }
+      case Kind::kArray: {
+        out << "[";
+        bool first = true;
+        for (const auto& v : array_) {
+          out << (first ? "\n" : ",\n") << pad_in;
+          v.Dump(out, indent + 2);
+          first = false;
+        }
+        out << "\n" << pad << "]";
+        break;
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  static void WriteEscaped(std::ostream& out, const std::string& s) {
+    out << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out << "\\\"";
+          break;
+        case '\\':
+          out << "\\\\";
+          break;
+        case '\n':
+          out << "\\n";
+          break;
+        case '\t':
+          out << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out << buf;
+          } else {
+            out << c;
+          }
+      }
+    }
+    out << '"';
+  }
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, BenchJson>> object_;
+  std::vector<BenchJson> array_;
+};
+
+/// Records the dataset/config fields every bench JSON shares.
+inline void FillJsonHeader(BenchJson& json, const std::string& bench_name,
+                           const lodes::LodesDataset& data,
+                           const BenchSetup& setup);
+
+/// Writes the document to --json=PATH when the flag is present.
+inline void MaybeWriteJson(const Flags& flags, const BenchJson& json) {
+  const std::string path = flags.GetString("json", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open --json path " << path << "\n";
+    return;
+  }
+  json.Dump(out);
+  out << "\n";
+  std::printf("wrote bench JSON to %s\n", path.c_str());
 }
 
 inline BenchSetup SetupFromFlags(const Flags& flags) {
@@ -77,6 +241,19 @@ inline void PrintDatasetSummary(const lodes::LodesDataset& data,
       static_cast<long long>(data.num_jobs()),
       static_cast<long long>(data.num_establishments()),
       data.places().size(), setup.experiment.trials);
+}
+
+inline void FillJsonHeader(BenchJson& json, const std::string& bench_name,
+                           const lodes::LodesDataset& data,
+                           const BenchSetup& setup) {
+  json["bench"] = BenchJson::Str(bench_name);
+  BenchJson& dataset = json["dataset"];
+  dataset["jobs"] = BenchJson::Num(static_cast<double>(data.num_jobs()));
+  dataset["establishments"] =
+      BenchJson::Num(static_cast<double>(data.num_establishments()));
+  dataset["places"] = BenchJson::Num(static_cast<double>(data.places().size()));
+  dataset["seed"] =
+      BenchJson::Num(static_cast<double>(setup.generator.seed));
 }
 
 /// Renders a figure sweep as one table per mechanism: rows = alpha, columns

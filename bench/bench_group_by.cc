@@ -157,6 +157,14 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   double engine_1t_ms = 0.0;
+  bench::BenchJson json;
+  bench::FillJsonHeader(json, "bench_group_by", data, setup);
+  json["marginal"] = bench::BenchJson::Str(marginal);
+  if (!skip_baseline) {
+    json["hash_baseline_ms"] = bench::BenchJson::Num(base_ms);
+  }
+  bench::BenchJson& json_sweep = json["sweep"];
+  json_sweep = bench::BenchJson::Array();
   std::vector<int> sweep;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
     sweep.push_back(threads);
@@ -185,6 +193,13 @@ int main(int argc, char** argv) {
                                    (best_ms * 1000.0),
                                2),
                   identical ? "yes" : "NO (BUG!)"});
+    bench::BenchJson entry;
+    entry["threads"] = bench::BenchJson::Num(threads);
+    entry["best_ms"] = bench::BenchJson::Num(best_ms);
+    entry["speedup_vs_1_thread"] = bench::BenchJson::Num(
+        threads == 1 ? 1.0 : engine_1t_ms / best_ms);
+    entry["identical"] = bench::BenchJson::Bool(identical);
+    json_sweep.Append(std::move(entry));
   }
   table.Print(std::cout);
 
@@ -206,5 +221,9 @@ int main(int argc, char** argv) {
       mat_ms, agg_ms, cells.size());
   std::printf("groupings %s across all configurations\n",
               all_identical ? "BIT-IDENTICAL" : "DIFFER (BUG!)");
+  json["phases_1_thread"]["materialize_ms"] = bench::BenchJson::Num(mat_ms);
+  json["phases_1_thread"]["aggregate_ms"] = bench::BenchJson::Num(agg_ms);
+  json["bit_identical"] = bench::BenchJson::Bool(all_identical);
+  bench::MaybeWriteJson(flags, json);
   return all_identical ? 0 : 1;
 }

@@ -78,6 +78,13 @@ int main(int argc, char** argv) {
   size_t base_hash = 0;
   size_t num_cells = 0;
   bool all_identical = true;
+  bench::BenchJson json;
+  bench::FillJsonHeader(json, "bench_release_pipeline", data, setup);
+  json["marginal"] = bench::BenchJson::Str(marginal);
+  json["mechanism"] =
+      bench::BenchJson::Str(eval::MechanismKindName(config.mechanism));
+  bench::BenchJson& json_sweep = json["sweep"];
+  json_sweep = bench::BenchJson::Array();
   std::vector<int> sweep;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
     sweep.push_back(threads);
@@ -116,6 +123,12 @@ int main(int argc, char** argv) {
                   std::to_string(static_cast<long long>(
                       num_cells / (best_ms / 1000.0))),
                   hash_hex});
+    bench::BenchJson entry;
+    entry["threads"] = bench::BenchJson::Num(threads);
+    entry["best_ms"] = bench::BenchJson::Num(best_ms);
+    entry["speedup_vs_1_thread"] = bench::BenchJson::Num(base_ms / best_ms);
+    entry["identical"] = bench::BenchJson::Bool(hash == base_hash);
+    json_sweep.Append(std::move(entry));
   }
   table.Print(std::cout);
   std::printf("\n%zu cells; released tables %s across thread counts\n",
@@ -149,6 +162,13 @@ int main(int argc, char** argv) {
                         FormatDouble(stats.noise_ms, 2),
                         FormatDouble(stats.format_ms, 2),
                         FormatDouble(total_ms, 2)});
+    bench::BenchJson entry;
+    entry["threads"] = bench::BenchJson::Num(threads);
+    entry["group_by_ms"] = bench::BenchJson::Num(stats.group_by_ms);
+    entry["noise_ms"] = bench::BenchJson::Num(stats.noise_ms);
+    entry["format_ms"] = bench::BenchJson::Num(stats.format_ms);
+    entry["total_wall_ms"] = bench::BenchJson::Num(total_ms);
+    json["phases"].Append(std::move(entry));
     if (threads == max_threads) break;  // dedupe when max_threads == 1
   }
   phase_table.Print(std::cout);
@@ -218,5 +238,7 @@ int main(int argc, char** argv) {
              static_cast<long long>(cells.size() / (ms[1] / 1000.0)))});
   }
   mech_table.Print(std::cout);
+  json["bit_identical"] = bench::BenchJson::Bool(all_identical);
+  bench::MaybeWriteJson(flags, json);
   return all_identical ? 0 : 1;
 }

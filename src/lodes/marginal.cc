@@ -24,15 +24,21 @@ MarginalSpec MarginalSpec::FullDemographics() {
           {kColSex, kColAge, kColRace, kColEthnicity, kColEducation}};
 }
 
+MarginalSpec MarginalSpec::IndustryBySexEducation() {
+  return {{kColNaics, kColOwnership}, {kColSex, kColEducation}};
+}
+
 Result<MarginalSpec> MarginalSpec::ByName(const std::string& name) {
   if (name == "establishment") return EstablishmentMarginal();
   if (name == "workplace_sexedu" || name == "sexedu") {
     return WorkplaceBySexEducation();
   }
   if (name == "full_demographics") return FullDemographics();
+  if (name == "industry_sexedu") return IndustryBySexEducation();
   return Status::InvalidArgument(
       "unknown marginal \"" + name +
-      "\" (use establishment|workplace_sexedu|full_demographics)");
+      "\" (use establishment|workplace_sexedu|industry_sexedu|"
+      "full_demographics)");
 }
 
 Status MarginalSpec::Validate() const {

@@ -43,11 +43,16 @@ struct MarginalSpec {
   /// The "complex query" of the paper's conclusion: industry x ownership
   /// crossed with ALL five worker attributes (worker domain d = 768).
   static MarginalSpec FullDemographics();
+  /// Statewide industry x ownership x sex x education — the place-free
+  /// companion of WorkplaceBySexEducation (a QWI-style state tabulation).
+  /// Its columns are a NON-prefix subset of the workplace_sexedu union, so
+  /// in a fused workload it exercises the parallel re-sort roll-up path.
+  static MarginalSpec IndustryBySexEducation();
 
   /// Looks up one of the named specs above from a CLI-friendly name:
-  /// "establishment", "workplace_sexedu" (alias "sexedu") or
-  /// "full_demographics". The single mapping shared by every bench and
-  /// example flag parser.
+  /// "establishment", "workplace_sexedu" (alias "sexedu"),
+  /// "industry_sexedu" or "full_demographics". The single mapping shared
+  /// by every bench and example flag parser.
   static Result<MarginalSpec> ByName(const std::string& name);
 
   Status Validate() const;

@@ -18,8 +18,23 @@
 //      groupings across ComputeWorkload/RunReleaseWorkload calls, so
 //      overlapping workloads skip the scan entirely.
 //
-// See docs/ARCHITECTURE.md ("Fused workload release engine") for how this
-// composes with the release pipeline's noise-sharding determinism contract.
+// When the union cross-classification is too wide to pay for itself (all
+// eight attributes at paper scale give the base ~one item per row, so
+// per-marginal roll-ups cost more than the saved scans), the planner
+// splits the workload into COVER GROUPS: a greedy agglomerative pass under
+// the shared cost model (table::RollupCostModel, estimated roll-up item
+// counts) merges marginals only while sharing a scan is modeled cheaper
+// than scanning separately, so the plan degenerates to the independent
+// one-scan-per-marginal schedule in the worst case and never does worse.
+// Each group is fused independently: its base grouping's column order is
+// chosen so the maximum number of member marginals are key PREFIXES of the
+// base and roll up by a pure run-length merge (table/rollup.h) instead of
+// a re-sort. Every path is an exact integer re-aggregation, so the
+// planner's choices are invisible in the results.
+//
+// See docs/ARCHITECTURE.md ("Sorted-base roll-ups & cover groups") for the
+// decision tree and how this composes with the release pipeline's
+// noise-sharding determinism contract.
 #ifndef EEP_LODES_WORKLOAD_H_
 #define EEP_LODES_WORKLOAD_H_
 
@@ -58,29 +73,44 @@ struct WorkloadSpec {
 /// \brief How ComputeWorkload obtained each grouping, for benches and the
 /// one-scan acceptance check.
 struct WorkloadComputeStats {
-  /// Full WorkerFull scans performed (0 when the fused grouping was already
-  /// cached, 1 otherwise; never more).
+  /// Full WorkerFull scans performed: at most one per cover group (0 for a
+  /// group whose base grouping the cache already covers), never more than
+  /// the number of marginals.
   int full_table_scans = 0;
-  /// Marginals served by cube roll-up / by an exact cache hit.
+  /// Marginals served by cube roll-up (the sum of the two fields below) /
+  /// by an exact cache hit.
   int rollups = 0;
   int exact_hits = 0;
-  /// Wall time obtaining the fused base grouping (the scan, when one ran).
+  /// Roll-ups served by the sorted-base run-length prefix merge.
+  int prefix_merges = 0;
+  /// Roll-ups served by the parallel flatten + re-sort path.
+  int parallel_rollups = 0;
+  /// Cover groups the planner split the workload into (1 when the whole
+  /// union is tight; up to the marginal count for hostile unions).
+  int cover_groups = 0;
+  /// Wall time obtaining the cover-group base groupings (the scans, when
+  /// they ran).
   double base_ms = 0.0;
-  /// Wall time deriving all marginals from it (roll-up + domain
+  /// Wall time deriving all marginals from them (roll-up + domain
   /// enumeration).
   double derive_ms = 0.0;
-  /// Per marginal: the columns of the grouping it was rolled up from, or
-  /// "exact-hit" when its grouping was already materialized.
+  /// Per marginal: the columns of the grouping it was rolled up from (with
+  /// a " (prefix merge)" marker for the merge path), or "exact-hit" when
+  /// its grouping was already materialized.
   std::vector<std::string> sources;
 };
 
 /// Computes every marginal of `workload` over `data` with at most one
-/// WorkerFull scan (zero when `cache` already holds a covering grouping).
-/// Results are returned in workload order and are bit-identical to calling
-/// MarginalQuery::Compute per spec. `cache`, when non-null, must be
-/// dedicated to `data`'s WorkerFull table and makes the fused grouping —
-/// and every derived marginal — reusable by later calls; when null, a
-/// call-local cache provides the roll-up lattice and is discarded.
+/// WorkerFull scan per planned cover group (zero for groups `cache`
+/// already covers) — one scan total when the workload's union is tight,
+/// never more scans than the independent per-marginal path. Results are
+/// returned in workload order and are bit-identical to calling
+/// MarginalQuery::Compute per spec for EVERY planner decision (prefix
+/// merge, parallel re-sort, cover-group split, scan). `cache`, when
+/// non-null, must be dedicated to `data`'s WorkerFull table and makes the
+/// group base groupings — and every derived marginal — reusable by later
+/// calls; when null, a call-local cache provides the roll-up lattice and
+/// is discarded.
 Result<std::vector<MarginalQuery>> ComputeWorkload(
     const LodesDataset& data, const WorkloadSpec& workload,
     int num_threads = 1, table::GroupByCache* cache = nullptr,

@@ -23,6 +23,29 @@ size_t CountItems(const GroupedCounts& grouped) {
   return items;
 }
 
+/// Modeled cost of serving `columns` by roll-up from a cached entry with
+/// `items` items — the one formula both entry families rank with.
+double RollupCandidateCost(const std::vector<std::string>& cached_columns,
+                           const std::vector<std::string>& columns,
+                           size_t items) {
+  return IsColumnPrefix(cached_columns, columns)
+             ? RollupCostModel::PrefixMerge(items)
+             : RollupCostModel::Resort(items);
+}
+
+/// Books a roll-up that ran: the kind the roll-up reports always agrees
+/// with the column-level prefix test the ranking used.
+void RecordRollupServed(RollupKind kind, GroupByCache::Stats* stats,
+                        GroupByCache::Outcome* outcome) {
+  if (kind == RollupKind::kPrefixMerge) {
+    ++stats->prefix_merges;
+    if (outcome != nullptr) *outcome = GroupByCache::Outcome::kPrefixMerge;
+  } else {
+    ++stats->rollups;
+    if (outcome != nullptr) *outcome = GroupByCache::Outcome::kRollup;
+  }
+}
+
 }  // namespace
 
 Result<std::shared_ptr<const GroupedCounts>> GroupByCache::GetOrCompute(
@@ -49,14 +72,23 @@ Result<std::shared_ptr<const GroupedCounts>> GroupByCache::GetOrCompute(
     return it->second.grouped;
   }
 
-  // Cheapest covering grouping = fewest roll-up input items.
+  // Rank every covering cached grouping against a fresh scan by the shared
+  // cost model: prefix-merge roll-ups touch each cached item once, re-sort
+  // roll-ups several times, a scan touches each row (twice, but the sort
+  // input run-compresses). Ties go to the roll-up — it never re-reads the
+  // table. Every plan is an exact aggregation of the same row multiset, so
+  // the choice is invisible in the result.
   const Entry* source = nullptr;
   const std::vector<std::string>* source_key = nullptr;
+  double best_cost = RollupCostModel::Scan(table.num_rows());
   for (const auto& [cached_columns, entry] : entries_) {
     if (!Covers(cached_columns, columns)) continue;
-    if (source == nullptr || entry.num_items < source->num_items) {
+    const double cost =
+        RollupCandidateCost(cached_columns, columns, entry.num_items);
+    if (source == nullptr ? cost <= best_cost : cost < best_cost) {
       source = &entry;
       source_key = &cached_columns;
+      best_cost = cost;
     }
   }
 
@@ -64,13 +96,13 @@ Result<std::shared_ptr<const GroupedCounts>> GroupByCache::GetOrCompute(
   if (source != nullptr) {
     EEP_ASSIGN_OR_RETURN(GroupKeyCodec codec,
                          GroupKeyCodec::Create(table.schema(), columns));
+    RollupKind kind;
     EEP_ASSIGN_OR_RETURN(GroupedCounts rolled,
                          RollupGroupedCounts(*source->grouped,
                                              std::move(codec),
-                                             options.num_threads));
+                                             options.num_threads, &kind));
     entry.grouped = std::make_shared<const GroupedCounts>(std::move(rolled));
-    ++stats_.rollups;
-    if (outcome != nullptr) *outcome = Outcome::kRollup;
+    RecordRollupServed(kind, &stats_, outcome);
     if (source_columns != nullptr) *source_columns = *source_key;
   } else {
     EEP_ASSIGN_OR_RETURN(GroupedCounts grouped,
@@ -105,12 +137,17 @@ GroupByCache::GetOrComputeKeyCounts(const Table& table,
     return it->second.counts;
   }
 
+  // Same cost-model ranking as GetOrCompute, with the entry's pair count
+  // as the item count.
   const KeyCountEntry* source = nullptr;
+  double best_cost = RollupCostModel::Scan(table.num_rows());
   for (const auto& [cached_columns, entry] : keycount_entries_) {
     if (!Covers(cached_columns, columns)) continue;
-    if (source == nullptr ||
-        entry.counts->size() < source->counts->size()) {
+    const double cost =
+        RollupCandidateCost(cached_columns, columns, entry.counts->size());
+    if (source == nullptr ? cost <= best_cost : cost < best_cost) {
       source = &entry;
+      best_cost = cost;
     }
   }
 
@@ -118,11 +155,11 @@ GroupByCache::GetOrComputeKeyCounts(const Table& table,
                        GroupKeyCodec::Create(table.schema(), columns));
   std::vector<std::pair<uint64_t, int64_t>> counts;
   if (source != nullptr) {
+    RollupKind kind;
     EEP_ASSIGN_OR_RETURN(counts,
                          RollupKeyCounts(*source->counts, source->codec,
-                                         codec, options.num_threads));
-    ++stats_.rollups;
-    if (outcome != nullptr) *outcome = Outcome::kRollup;
+                                         codec, options.num_threads, &kind));
+    RecordRollupServed(kind, &stats_, outcome);
   } else {
     EEP_ASSIGN_OR_RETURN(counts, GroupCount(table, codec, options));
     ++stats_.scans;

@@ -1,11 +1,16 @@
 // A grouped-cell cache over one table: repeated group-bys skip the scan.
 //
 // The cache exploits the roll-up lattice (rollup.h): a request is served by
-// an exact cached match when one exists, else derived by cube roll-up from
-// any cached grouping whose column set covers the request (no table scan),
-// and only scans the table when neither applies. Because both the engine
-// and the roll-up are exact integer aggregations of the same row multiset,
-// every path returns bit-identical results — callers cannot observe which
+// an exact cached match when one exists; otherwise every cached grouping
+// whose column set covers the request is a roll-up candidate, ranked
+// against a fresh table scan by the shared cost model
+// (table::RollupCostModel) — prefix-merge roll-ups are cheap linear
+// passes, re-sort roll-ups pay several passes per item, and a scan pays
+// per row but run-compresses. The cheapest plan wins, so a pathologically
+// wide cached grouping (~one item per row) no longer shadows a cheaper
+// re-scan the way a fewest-items rule did. Because the engine and both
+// roll-up paths are exact integer aggregations of the same row multiset,
+// every plan returns bit-identical results — callers cannot observe which
 // one served them except through stats(). Entries are shared_ptrs, so a
 // workload holding a marginal alive keeps only that grouping pinned.
 //
@@ -33,25 +38,30 @@ class GroupByCache {
  public:
   /// How a GetOrCompute call was served.
   enum class Outcome {
-    kExactHit,  ///< Cached grouping with exactly these columns.
-    kRollup,    ///< Derived from a cached superset grouping; no scan.
-    kScan,      ///< Full table scan (GroupCountByEstablishment).
+    kExactHit,     ///< Cached grouping with exactly these columns.
+    kPrefixMerge,  ///< Run-length merge from a cached prefix superset.
+    kRollup,       ///< Re-sort roll-up from a cached superset; no scan.
+    kScan,         ///< Full table scan (GroupCountByEstablishment).
   };
 
   struct Stats {
     size_t exact_hits = 0;
-    size_t rollups = 0;
+    size_t prefix_merges = 0;
+    size_t rollups = 0;  ///< Re-sort roll-ups (prefix merges counted apart).
     size_t scans = 0;
   };
 
-  /// Returns the grouping of `columns` over `table`, scanning the table
-  /// only when no cached grouping covers the request. `outcome`, when
-  /// non-null, reports which path served the call; `source_columns`, when
-  /// non-null, receives the covering entry a kRollup was derived from (it
-  /// is cleared otherwise). Results are cached under their exact ordered
-  /// column list; the same columns in a different order are a different
-  /// grouping (different key packing) but still roll up from each other
-  /// without a scan.
+  /// Returns the grouping of `columns` over `table`, choosing the cheapest
+  /// plan under RollupCostModel: an exact cached match, a prefix-merge or
+  /// re-sort roll-up from a covering cached grouping, or a fresh table
+  /// scan (also taken when a covering entry exists but rolling up from it
+  /// is modeled as dearer than re-scanning). `outcome`, when non-null,
+  /// reports which path served the call; `source_columns`, when non-null,
+  /// receives the covering entry a kPrefixMerge/kRollup was derived from
+  /// (it is cleared otherwise). Results are cached under their exact
+  /// ordered column list; the same columns in a different order are a
+  /// different grouping (different key packing) but still roll up from
+  /// each other without a scan.
   Result<std::shared_ptr<const GroupedCounts>> GetOrCompute(
       const Table& table, const std::vector<std::string>& columns,
       const std::string& estab_id_column, const GroupByOptions& options = {},

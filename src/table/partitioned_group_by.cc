@@ -17,11 +17,6 @@ namespace {
 constexpr size_t kTargetPartitionRows = size_t{1} << 16;
 constexpr size_t kMaxPartitions = 1024;
 
-int ResolveThreads(int num_threads) {
-  if (num_threads > 0) return num_threads;
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-}
-
 // Runs fn(worker_index) on `threads` workers; the caller is worker 0.
 template <typename Fn>
 void RunWorkers(int threads, Fn&& fn) {
@@ -54,7 +49,7 @@ struct PartitionPlan {
 // choice concatenates to the same output.
 PartitionPlan PlanFor(size_t n, uint64_t domain, int num_threads) {
   PartitionPlan plan;
-  plan.threads = ResolveThreads(num_threads);
+  plan.threads = ResolveGroupByThreads(num_threads);
   const size_t target =
       std::min(kMaxPartitions,
                std::max<size_t>(n / kTargetPartitionRows + 1,
@@ -231,6 +226,15 @@ std::vector<size_t> CursorsFromHists(std::vector<CompressedBlock>* blocks,
 
 }  // namespace
 
+int ResolveGroupByThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void RunOnWorkers(int threads, const std::function<void(int)>& fn) {
+  RunWorkers(threads, fn);
+}
+
 std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
                                            const GroupKeyCodec& codec,
                                            int num_threads) {
@@ -243,7 +247,7 @@ std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
     columns.push_back(table.column(idx).codes().data());
   }
   const auto& radices = codec.radices();
-  const int threads = ResolveThreads(num_threads);
+  const int threads = ResolveGroupByThreads(num_threads);
   const size_t block =
       (n + static_cast<size_t>(threads) - 1) / static_cast<size_t>(threads);
   RunWorkers(threads, [&](int w) {

@@ -11,6 +11,22 @@
 // workload of marginals share one full-table scan: compute the finest
 // common cross-classification once, then roll every coarser marginal up
 // from it (lodes/workload.h) or serve it from a cache (group_by_cache.h).
+//
+// Two execution paths, chosen automatically per roll-up:
+//
+//  * PREFIX MERGE — when the coarse columns are exactly the first k base
+//    columns (same order), the projection is a plain division, so the
+//    base's global key order is preserved. The roll-up is then ONE weighted
+//    run-length merge pass over the base cells: no projection buffer, no
+//    global re-sort (pathologically wide runs sort their own items
+//    locally). Runs are split across workers at coarse-key boundaries.
+//  * RE-SORT — any other subset/permutation: the base items are flattened
+//    and projected in parallel (per-cell offsets make every worker's write
+//    range disjoint) and re-aggregated through the weighted partitioned
+//    engine.
+//
+// Both paths are exact integer re-aggregations of the same item multiset,
+// so they agree bit for bit with each other and with a direct scan.
 #ifndef EEP_TABLE_ROLLUP_H_
 #define EEP_TABLE_ROLLUP_H_
 
@@ -56,23 +72,69 @@ class KeyProjection {
   uint64_t coarse_domain_size_ = 1;
 };
 
+/// \brief Which execution path served a roll-up.
+enum class RollupKind {
+  kPrefixMerge,  ///< Coarse = key prefix: one run-length merge pass.
+  kResort,       ///< Parallel flatten + weighted partitioned re-sort.
+};
+
+/// True when `coarse`'s columns are exactly the first coarse.columns().size()
+/// columns of `base`, in the same order (with matching radices) — the shape
+/// whose projection is a plain division of the packed key, preserving the
+/// base's global sort order. Identity (coarse == base) counts as a prefix.
+bool IsKeyPrefix(const GroupKeyCodec& base, const GroupKeyCodec& coarse);
+
+/// Column-list form of IsKeyPrefix, for planners that rank candidates
+/// before building codecs (group_by_cache.cc, lodes/workload.cc). Radices
+/// are implied equal when both lists come from the same table's schema.
+bool IsColumnPrefix(const std::vector<std::string>& base,
+                    const std::vector<std::string>& subset);
+
 /// Rolls `base` up to the cross-classification of `coarse_codec`'s columns
 /// (a subset — in any order — of the base codec's columns, built against
 /// the same schema). Every (cell, contribution) item of the base re-enters
-/// the weighted partitioned aggregation under its projected key, so the
-/// result is bit-identical to GroupCountByEstablishment on the coarse
-/// columns directly, at the cost of |base items| instead of |table rows|.
+/// the weighted aggregation under its projected key, so the result is
+/// bit-identical to GroupCountByEstablishment on the coarse columns
+/// directly, at the cost of |base items| instead of |table rows|. When
+/// `kind` is non-null it reports which path ran (prefix merge when the
+/// coarse columns are a key prefix of the base, re-sort otherwise).
 Result<GroupedCounts> RollupGroupedCounts(const GroupedCounts& base,
                                           GroupKeyCodec coarse_codec,
-                                          int num_threads = 1);
+                                          int num_threads = 1,
+                                          RollupKind* kind = nullptr);
 
 /// Plain-count form: rolls key-sorted (key, count) pairs in the base
 /// codec's domain up to the coarse codec's domain. Bit-identical to
-/// GroupCount on the coarse columns directly.
+/// GroupCount on the coarse columns directly. Prefix subsets reduce to a
+/// single run-length pass over the sorted pairs.
 Result<std::vector<std::pair<uint64_t, int64_t>>> RollupKeyCounts(
     const std::vector<std::pair<uint64_t, int64_t>>& base,
     const GroupKeyCodec& base_codec, const GroupKeyCodec& coarse_codec,
-    int num_threads = 1);
+    int num_threads = 1, RollupKind* kind = nullptr);
+
+/// \brief Shared cost model for choosing how to obtain a grouping, in
+/// abstract units of "input elements touched". Used by GroupByCache to rank
+/// a table scan against roll-ups from cached entries, and by the workload
+/// cover-group planner (lodes/workload.cc) with *estimated* item counts.
+/// The constants are calibrated on the paper-scale extract (see
+/// docs/BENCHMARKS.md): a scan touches every row twice (key materialization
+/// + run-compressed aggregation, where employer clustering shrinks the sort
+/// input by an order of magnitude), a prefix merge touches every base item
+/// once, and a re-sort roll-up pays flatten + scatter + radix passes over
+/// items that no longer run-compress.
+struct RollupCostModel {
+  static constexpr double kScanPerRow = 2.0;
+  static constexpr double kPrefixMergePerItem = 1.0;
+  static constexpr double kResortPerItem = 4.0;
+
+  static double Scan(size_t rows) { return kScanPerRow * double(rows); }
+  static double PrefixMerge(size_t items) {
+    return kPrefixMergePerItem * double(items);
+  }
+  static double Resort(size_t items) {
+    return kResortPerItem * double(items);
+  }
+};
 
 }  // namespace eep::table
 

@@ -88,6 +88,10 @@ TEST(PaperScaleTest, PaperExtractReleasesBitIdenticallyAcrossThreads) {
           /*cache=*/nullptr, &stats);
       ASSERT_TRUE(fused.ok()) << fused.status().ToString();
       ASSERT_EQ(stats.full_table_scans, 1) << "threads=" << threads;
+      // The paper union is tight, so the planner must fuse it as ONE cover
+      // group, serving the establishment marginal by prefix merge.
+      ASSERT_EQ(stats.cover_groups, 1) << "threads=" << threads;
+      EXPECT_GE(stats.prefix_merges, 1) << "threads=" << threads;
       for (size_t m = 0; m < independent.size(); ++m) {
         const auto& expected = independent[m].cells();
         const auto& actual = fused.value()[m].cells();
@@ -102,6 +106,49 @@ TEST(PaperScaleTest, PaperExtractReleasesBitIdenticallyAcrossThreads) {
               << "threads=" << threads;
           ASSERT_EQ(expected[i].place_code, actual[i].place_code)
               << "threads=" << threads;
+        }
+      }
+    }
+  }
+
+  // Wide-union workload at full scale: the all-8-attribute union makes the
+  // fused base ~one item per row, so the planner must SPLIT it into cover
+  // groups — and every marginal must still match the independent compute,
+  // through the prefix-merge path (establishment), the parallel re-sort
+  // path (industry x sex x education) and the exact hits.
+  {
+    const lodes::WorkloadSpec wide =
+        lodes::WorkloadSpec::ByName(
+            "establishment,industry_sexedu,sexedu,full_demographics")
+            .value();
+    std::vector<lodes::MarginalQuery> independent;
+    for (const auto& spec : wide.marginals) {
+      independent.push_back(
+          lodes::MarginalQuery::Compute(data, spec, /*num_threads=*/4)
+              .value());
+    }
+    for (int threads : {1, 4}) {
+      lodes::WorkloadComputeStats stats;
+      auto fused = lodes::ComputeWorkload(data, wide, threads,
+                                          /*cache=*/nullptr, &stats);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      EXPECT_GE(stats.cover_groups, 2) << "threads=" << threads;
+      EXPECT_LT(stats.full_table_scans,
+                static_cast<int>(wide.marginals.size()));
+      EXPECT_GE(stats.prefix_merges, 1) << "threads=" << threads;
+      EXPECT_GE(stats.parallel_rollups, 1) << "threads=" << threads;
+      for (size_t m = 0; m < independent.size(); ++m) {
+        const auto& expected = independent[m].cells();
+        const auto& actual = fused.value()[m].cells();
+        ASSERT_EQ(expected.size(), actual.size())
+            << "marginal " << m << " threads " << threads;
+        for (size_t i = 0; i < expected.size(); ++i) {
+          ASSERT_EQ(expected[i].key, actual[i].key)
+              << "marginal " << m << " threads " << threads;
+          ASSERT_EQ(expected[i].count, actual[i].count)
+              << "marginal " << m << " threads " << threads;
+          ASSERT_EQ(expected[i].x_v, actual[i].x_v)
+              << "marginal " << m << " threads " << threads;
         }
       }
     }

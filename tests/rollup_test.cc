@@ -78,22 +78,131 @@ TEST(RollupTest, MatchesDirectGroupByForEverySubsetShapeAndThreadCount) {
   const GroupedCounts base =
       GroupCountByEstablishment(t, {"attr_a", "attr_b", "attr_c"}, "estab")
           .value();
-  const std::vector<std::vector<std::string>> subsets = {
-      {"attr_a", "attr_b"},            // drop the innermost digit
-      {"attr_b", "attr_c"},            // drop the outermost digit
-      {"attr_a", "attr_c"},            // drop a middle digit
-      {"attr_c", "attr_a"},            // permuted order
-      {"attr_b"},                      // single column
-      {"attr_a", "attr_b", "attr_c"},  // identity projection
-  };
-  for (const auto& columns : subsets) {
+  // Subset shape -> whether the sorted-base prefix-merge path must serve it
+  // (coarse columns == the first k base columns, same order).
+  const std::vector<std::pair<std::vector<std::string>, RollupKind>> subsets =
+      {
+          {{"attr_a", "attr_b"}, RollupKind::kPrefixMerge},  // prefix
+          {{"attr_a"}, RollupKind::kPrefixMerge},            // shorter prefix
+          {{"attr_b", "attr_c"}, RollupKind::kResort},  // drop the outermost
+          {{"attr_a", "attr_c"}, RollupKind::kResort},  // drop a middle digit
+          {{"attr_c", "attr_a"}, RollupKind::kResort},  // permuted order
+          {{"attr_b"}, RollupKind::kResort},            // non-prefix single
+          {{"attr_a", "attr_b", "attr_c"},
+           RollupKind::kPrefixMerge},  // identity projection
+      };
+  for (const auto& [columns, expected_kind] : subsets) {
     const GroupedCounts direct =
         GroupCountByEstablishment(t, columns, "estab").value();
     for (int threads : {1, 2, 4, 8}) {
       GroupKeyCodec codec = GroupKeyCodec::Create(t.schema(), columns).value();
+      EXPECT_EQ(IsKeyPrefix(base.codec, codec),
+                expected_kind == RollupKind::kPrefixMerge);
+      RollupKind kind;
       const GroupedCounts rolled =
-          RollupGroupedCounts(base, std::move(codec), threads).value();
+          RollupGroupedCounts(base, std::move(codec), threads, &kind).value();
       std::string context = "columns={";
+      for (const auto& c : columns) context += c + ",";
+      context += "} threads=" + std::to_string(threads);
+      EXPECT_EQ(kind, expected_kind) << context;
+      // Both execution paths must agree bit for bit with the direct scan —
+      // the equality that makes the planner's choice unobservable.
+      ExpectCellsEqual(direct.cells, rolled.cells, context);
+    }
+  }
+}
+
+TEST(RollupTest, WideRunPrefixMergeMatchesDirect) {
+  // A single-column prefix roll-up whose summed-out suffix domain (6x5=30)
+  // exceeds the sequential-merge threshold, forcing the gather+sort run
+  // strategy — which must agree bit for bit with the direct scan (and so
+  // with the pairwise-merge strategy) at every thread count.
+  Rng rng(314);
+  auto dict_a = Dictionary::Create(MakeValues(4, "a")).value();
+  auto dict_b = Dictionary::Create(MakeValues(6, "b")).value();
+  auto dict_c = Dictionary::Create(MakeValues(5, "c")).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"attr_a", DataType::kCategory, dict_a},
+                                {"attr_b", DataType::kCategory, dict_b},
+                                {"attr_c", DataType::kCategory, dict_c}})
+                    .value();
+  const size_t rows = 30000;
+  std::vector<int64_t> estabs(rows);
+  std::vector<uint32_t> as(rows), bs(rows), cs(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    estabs[i] = rng.UniformInt(1, 200);
+    as[i] = static_cast<uint32_t>(rng.UniformInt(0, 3));
+    bs[i] = static_cast<uint32_t>(rng.UniformInt(0, 5));
+    cs[i] = static_cast<uint32_t>(rng.UniformInt(0, 4));
+  }
+  const Table t =
+      Table::Create(schema,
+                    {Column::OfInt64(estabs), Column::OfCategory(as),
+                     Column::OfCategory(bs), Column::OfCategory(cs)})
+          .value();
+  const GroupedCounts base =
+      GroupCountByEstablishment(t, {"attr_a", "attr_b", "attr_c"}, "estab")
+          .value();
+  const GroupedCounts direct =
+      GroupCountByEstablishment(t, {"attr_a"}, "estab").value();
+  for (int threads : {1, 2, 4, 8}) {
+    RollupKind kind;
+    const GroupedCounts rolled =
+        RollupGroupedCounts(base,
+                            GroupKeyCodec::Create(t.schema(), {"attr_a"})
+                                .value(),
+                            threads, &kind)
+            .value();
+    EXPECT_EQ(kind, RollupKind::kPrefixMerge);
+    ExpectCellsEqual(direct.cells, rolled.cells,
+                     "wide-run threads=" + std::to_string(threads));
+  }
+}
+
+TEST(RollupTest, FuzzAdversarialColumnOrders) {
+  // Random base orders (never the canonical schema order), random subset
+  // shapes and permutations, every thread count: rolled must equal direct
+  // regardless of which path serves it. This is the fuzz case for the
+  // prefix detection: a wrong prefix test would silently produce unsorted
+  // or mis-merged cells.
+  Rng rng(20260729);
+  const std::vector<std::string> all = {"attr_a", "attr_b", "attr_c"};
+  for (int round = 0; round < 12; ++round) {
+    const Table t =
+        MakeRandomTable(/*seed=*/1000 + static_cast<uint64_t>(round),
+                        /*num_rows=*/3000, /*num_estabs=*/25);
+    std::vector<std::string> base_columns = all;
+    for (size_t i = base_columns.size(); i > 1; --i) {
+      std::swap(base_columns[i - 1],
+                base_columns[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    const GroupedCounts base =
+        GroupCountByEstablishment(t, base_columns, "estab").value();
+    // Random non-empty subset, randomly permuted.
+    std::vector<std::string> columns;
+    for (const auto& c : base_columns) {
+      if (rng.UniformInt(0, 1) == 1) columns.push_back(c);
+    }
+    if (columns.empty()) columns.push_back(base_columns[0]);
+    for (size_t i = columns.size(); i > 1; --i) {
+      std::swap(columns[i - 1],
+                columns[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    const GroupedCounts direct =
+        GroupCountByEstablishment(t, columns, "estab").value();
+    for (int threads : {1, 2, 4, 8}) {
+      RollupKind kind;
+      const GroupedCounts rolled =
+          RollupGroupedCounts(base,
+                              GroupKeyCodec::Create(t.schema(), columns)
+                                  .value(),
+                              threads, &kind)
+              .value();
+      std::string context = "round=" + std::to_string(round) + " base={";
+      for (const auto& c : base_columns) context += c + ",";
+      context += "} columns={";
       for (const auto& c : columns) context += c + ",";
       context += "} threads=" + std::to_string(threads);
       ExpectCellsEqual(direct.cells, rolled.cells, context);
@@ -132,13 +241,19 @@ TEST(RollupTest, KeyCountsMatchDirectGroupCount) {
   const auto base = GroupCount(t, base_codec).value();
   for (const std::vector<std::string>& columns :
        {std::vector<std::string>{"attr_a", "attr_c"},
-        std::vector<std::string>{"attr_c", "attr_b"}}) {
+        std::vector<std::string>{"attr_c", "attr_b"},
+        std::vector<std::string>{"attr_a", "attr_b"},  // prefix run-length
+        std::vector<std::string>{"attr_a"}}) {         // prefix run-length
     const GroupKeyCodec coarse_codec =
         GroupKeyCodec::Create(t.schema(), columns).value();
     const auto direct = GroupCount(t, coarse_codec).value();
     for (int threads : {1, 2, 4, 8}) {
+      RollupKind kind;
       const auto rolled =
-          RollupKeyCounts(base, base_codec, coarse_codec, threads).value();
+          RollupKeyCounts(base, base_codec, coarse_codec, threads, &kind)
+              .value();
+      EXPECT_EQ(kind == RollupKind::kPrefixMerge,
+                IsKeyPrefix(base_codec, coarse_codec));
       EXPECT_EQ(direct, rolled) << "threads=" << threads;
     }
   }
@@ -225,6 +340,79 @@ TEST(GroupByCacheTest, ServesExactHitsThenRollupsAndScansOnlyOnce) {
   EXPECT_EQ(stats.scans, 1u);
   EXPECT_EQ(stats.exact_hits, 1u);
   EXPECT_EQ(stats.rollups, 1u);
+}
+
+TEST(GroupByCacheTest, CostModelPrefersScanOverPathologicallyWideRollup) {
+  // A table whose establishment id is unique per row: EVERY grouping holds
+  // one item per row, the worst case for roll-ups. The cost model must
+  // then prefer a fresh scan (2 units/row) over a re-sort roll-up from the
+  // cached wide grouping (4 units/item = 2x a scan), while the prefix
+  // merge (1 unit/item) stays cheaper than scanning — the accounting fix
+  // over the old fewest-items rule, which would always have picked the
+  // wide grouping.
+  const size_t rows = 4000;
+  Rng rng(99);
+  auto dict_a = Dictionary::Create(MakeValues(5, "a")).value();
+  auto dict_b = Dictionary::Create(MakeValues(3, "b")).value();
+  auto dict_c = Dictionary::Create(MakeValues(4, "c")).value();
+  auto schema = Schema::Create({{"estab", DataType::kInt64, nullptr},
+                                {"attr_a", DataType::kCategory, dict_a},
+                                {"attr_b", DataType::kCategory, dict_b},
+                                {"attr_c", DataType::kCategory, dict_c}})
+                    .value();
+  std::vector<int64_t> estabs(rows);
+  std::vector<uint32_t> as(rows), bs(rows), cs(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    estabs[i] = static_cast<int64_t>(i);
+    as[i] = static_cast<uint32_t>(rng.UniformInt(0, 4));
+    bs[i] = static_cast<uint32_t>(rng.UniformInt(0, 2));
+    cs[i] = static_cast<uint32_t>(rng.UniformInt(0, 3));
+  }
+  const Table t =
+      Table::Create(schema,
+                    {Column::OfInt64(estabs), Column::OfCategory(as),
+                     Column::OfCategory(bs), Column::OfCategory(cs)})
+          .value();
+
+  GroupByCache cache;
+  GroupByCache::Outcome outcome;
+  ASSERT_TRUE(cache.GetOrCompute(t, {"attr_a", "attr_b", "attr_c"}, "estab",
+                                 {}, &outcome)
+                  .ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kScan);
+
+  // Non-prefix subset: the only covering entry is as wide as the table, so
+  // the model re-scans — and the result is still exactly the direct
+  // grouping.
+  auto non_prefix = cache.GetOrCompute(t, {"attr_b"}, "estab", {}, &outcome);
+  ASSERT_TRUE(non_prefix.ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kScan);
+  ExpectCellsEqual(
+      GroupCountByEstablishment(t, {"attr_b"}, "estab").value().cells,
+      non_prefix.value()->cells, "cost-model scan");
+
+  // Prefix subset: one merge pass over the same wide entry is modeled
+  // cheaper than the scan, and must be chosen.
+  std::vector<std::string> source;
+  auto prefix = cache.GetOrCompute(t, {"attr_a", "attr_b"}, "estab", {},
+                                   &outcome, &source);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kPrefixMerge);
+  EXPECT_EQ(source, (std::vector<std::string>{"attr_a", "attr_b", "attr_c"}));
+  ExpectCellsEqual(
+      GroupCountByEstablishment(t, {"attr_a", "attr_b"}, "estab")
+          .value()
+          .cells,
+      prefix.value()->cells, "cost-model prefix merge");
+
+  const GroupByCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.scans, 2u);
+  EXPECT_EQ(stats.prefix_merges, 1u);
+  EXPECT_EQ(stats.rollups, 0u);
+
+  // The scan-served subset is cached like any other entry.
+  ASSERT_TRUE(cache.GetOrCompute(t, {"attr_b"}, "estab", {}, &outcome).ok());
+  EXPECT_EQ(outcome, GroupByCache::Outcome::kExactHit);
 }
 
 TEST(GroupByCacheTest, RejectsADifferentTableAndResetsOnClear) {

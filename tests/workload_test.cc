@@ -71,6 +71,12 @@ TEST(WorkloadSpecTest, ValidateAndByName) {
   ASSERT_TRUE(listed.ok());
   EXPECT_EQ(listed.value().marginals.size(), 3u);
 
+  auto industry = WorkloadSpec::ByName("establishment,industry_sexedu");
+  ASSERT_TRUE(industry.ok());
+  EXPECT_EQ(industry.value().marginals[1].AllColumns(),
+            (std::vector<std::string>{"naics", "ownership", "sex",
+                                      "education"}));
+
   EXPECT_FALSE(WorkloadSpec::ByName("no_such_marginal").ok());
   EXPECT_FALSE(WorkloadSpec::ByName("establishment,,sexedu").ok());
 }
@@ -101,6 +107,8 @@ TEST(ComputeWorkloadTest, EveryMarginalMatchesIndependentCompute) {
       {{MarginalSpec::FullDemographics(),
         MarginalSpec::WorkplaceBySexEducation(),
         MarginalSpec::EstablishmentMarginal(),
+        // Non-prefix subset of the sexedu union: the parallel re-sort path.
+        MarginalSpec::IndustryBySexEducation(),
         // Permuted attribute order exercises the digit re-packing.
         MarginalSpec{{"ownership", "place"}, {"education", "sex"}}}},
   };
@@ -113,16 +121,33 @@ TEST(ComputeWorkloadTest, EveryMarginalMatchesIndependentCompute) {
         independent.push_back(
             lodes::MarginalQuery::Compute(data, spec).value());
       }
+      int expected_cover_groups = -1;
       for (int threads : {1, 2, 4, 8}) {
         lodes::WorkloadComputeStats stats;
         auto fused = lodes::ComputeWorkload(data, workloads[w], threads,
                                             /*cache=*/nullptr, &stats);
         ASSERT_TRUE(fused.ok()) << fused.status().ToString();
         ASSERT_EQ(fused.value().size(), workloads[w].marginals.size());
-        EXPECT_EQ(stats.full_table_scans, 1)
+        // The planner splits over-wide unions into cover groups; every
+        // group costs at most one scan, and the plan never scans more than
+        // the independent per-marginal path would.
+        EXPECT_GE(stats.cover_groups, 1)
             << "workload " << w << " threads " << threads;
+        EXPECT_LE(stats.cover_groups,
+                  static_cast<int>(workloads[w].marginals.size()));
+        EXPECT_GE(stats.full_table_scans, 1);
+        EXPECT_LE(stats.full_table_scans, stats.cover_groups);
         EXPECT_EQ(stats.rollups + stats.exact_hits,
                   static_cast<int>(workloads[w].marginals.size()));
+        EXPECT_EQ(stats.prefix_merges + stats.parallel_rollups,
+                  stats.rollups);
+        // The planner must make the same decisions at every thread count
+        // (its cost model never reads the thread count).
+        if (expected_cover_groups < 0) {
+          expected_cover_groups = stats.cover_groups;
+        }
+        EXPECT_EQ(stats.cover_groups, expected_cover_groups)
+            << "workload " << w << " threads " << threads;
         for (size_t i = 0; i < independent.size(); ++i) {
           ExpectQueriesEqual(independent[i], fused.value()[i],
                              "seed=" + std::to_string(seed) + " workload=" +
@@ -216,6 +241,93 @@ TEST(RunReleaseWorkloadTest, BitIdenticalToIndependentReleases) {
           << "threads " << threads;
     }
   }
+}
+
+// The cover-group property: when the planner splits an over-wide workload
+// into several fused groups, every released table must STILL be
+// bit-identical to the independent path, the caller's rng must advance
+// identically, and the accountant must still be charged atomically for the
+// whole workload — the split is pure execution planning.
+TEST(RunReleaseWorkloadTest, CoverGroupSplitKeepsBitIdentityAndCharging) {
+  const lodes::LodesDataset data = MakeDataset(55, /*jobs=*/9000,
+                                               /*places=*/10);
+  const WorkloadSpec wide =
+      WorkloadSpec::ByName(
+          "establishment,industry_sexedu,sexedu,full_demographics")
+          .value();
+
+  Rng independent_rng(777);
+  std::vector<release::ReleasedTable> independent;
+  for (const MarginalSpec& spec : wide.marginals) {
+    release::ReleaseConfig config;
+    config.spec = spec;
+    config.mechanism = eval::MechanismKind::kSmoothLaplace;
+    config.alpha = 0.1;
+    config.epsilon = 2.0;
+    config.delta = 0.001;
+    auto released =
+        release::RunRelease(data, config, nullptr, independent_rng);
+    ASSERT_TRUE(released.ok()) << released.status().ToString();
+    independent.push_back(std::move(released).value());
+  }
+
+  release::WorkloadReleaseConfig config;
+  config.workload = wide;
+  config.mechanism = eval::MechanismKind::kSmoothLaplace;
+  config.alpha = 0.1;
+  config.epsilon = 2.0;
+  config.delta = 0.001;
+  for (int threads : {1, 2, 4, 8}) {
+    config.num_threads = threads;
+    Rng fused_rng(777);
+    release::WorkloadReleaseStats stats;
+    auto released = release::RunReleaseWorkload(data, config, nullptr,
+                                                fused_rng, nullptr, &stats);
+    ASSERT_TRUE(released.ok()) << released.status().ToString();
+    ASSERT_EQ(released.value().size(), independent.size());
+    // The all-8-attribute union is hostile at this scale, so the planner
+    // must split — and must exercise BOTH roll-up paths.
+    EXPECT_GE(stats.compute.cover_groups, 2) << "threads " << threads;
+    EXPECT_LT(stats.compute.full_table_scans,
+              static_cast<int>(wide.marginals.size()));
+    EXPECT_GE(stats.compute.prefix_merges, 1);
+    EXPECT_GE(stats.compute.parallel_rollups, 1);
+    for (size_t i = 0; i < independent.size(); ++i) {
+      EXPECT_EQ(released.value()[i].rows, independent[i].rows)
+          << "marginal " << i << " threads " << threads;
+    }
+    Rng expected_rng(777);
+    for (size_t i = 0; i < wide.marginals.size(); ++i) {
+      expected_rng.NextUint64();
+    }
+    EXPECT_EQ(fused_rng.NextUint64(), expected_rng.NextUint64())
+        << "threads " << threads;
+  }
+
+  // Atomic charging across cover groups: enough budget charges one ledger
+  // entry per marginal; too little charges NOTHING even though the planner
+  // runs several groups.
+  // Weak-model charges: eps x (1 + 8 + 8 + 768).
+  auto accountant = privacy::PrivacyAccountant::Create(
+                        0.1, /*epsilon_budget=*/1600.0,
+                        /*delta_budget=*/0.9,
+                        privacy::AdversaryModel::kWeak)
+                        .value();
+  Rng rng(3);
+  ASSERT_TRUE(
+      release::RunReleaseWorkload(data, config, &accountant, rng).ok());
+  EXPECT_EQ(accountant.ledger().size(), wide.marginals.size());
+  EXPECT_DOUBLE_EQ(accountant.spent_epsilon(), 2.0 * (1 + 8 + 8 + 768));
+
+  auto small = privacy::PrivacyAccountant::Create(
+                   0.1, /*epsilon_budget=*/10.0, /*delta_budget=*/0.9,
+                   privacy::AdversaryModel::kWeak)
+                   .value();
+  auto refused = release::RunReleaseWorkload(data, config, &small, rng);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(small.ledger().empty());
+  EXPECT_DOUBLE_EQ(small.spent_epsilon(), 0.0);
 }
 
 TEST(RunReleaseWorkloadTest, ChargesEachMarginalAndRefusesMidWorkload) {

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Markdown link checker for the docs CI job.
+"""Markdown link + bench-name checker for the docs CI job.
 
 Scans the repo's markdown files and verifies that every relative link
 target exists (anchors are stripped; external http(s)/mailto links are
-not fetched). Exits nonzero listing each broken link, so documentation
-cannot silently point at files that were moved or deleted.
+not fetched), and that every bench binary named in docs/BENCHMARKS.md
+corresponds to a bench/bench_*.cc source (the set bench/CMakeLists.txt
+registers via its glob) — so a bench rename cannot silently rot the
+benchmark book's repro commands. Exits nonzero listing each problem.
 
 Usage: tools/check_docs.py [repo_root]
 """
@@ -47,6 +49,36 @@ def links_in(path):
                 yield number, match.group(1)
 
 
+# Bench binary names as they appear in prose and repro commands. Fenced
+# code blocks are NOT skipped here — that is where the repro commands live.
+BENCH_RE = re.compile(r"\bbench_[a-z0-9_]+")
+
+
+def check_bench_names(root):
+    """Every bench_* name in docs/BENCHMARKS.md must have a bench/*.cc
+    source (what the CMake glob registers). Returns (checked, broken)."""
+    doc = os.path.join(root, "docs", "BENCHMARKS.md")
+    bench_dir = os.path.join(root, "bench")
+    if not os.path.exists(doc) or not os.path.isdir(bench_dir):
+        return 0, []
+    registered = {
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(bench_dir)
+        if entry.startswith("bench_") and entry.endswith(".cc")
+    }
+    broken = []
+    names = set()
+    with open(doc, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for name in BENCH_RE.findall(line):
+                # Uppercase artifact names (BENCH_*.json) don't match the
+                # lowercase pattern, so only binary names are checked.
+                names.add(name)
+                if name not in registered:
+                    broken.append((os.path.relpath(doc, root), number, name))
+    return len(names), broken
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -65,10 +97,15 @@ def main():
                 broken.append((os.path.relpath(path, root), number, target))
     for path, number, target in broken:
         print(f"BROKEN {path}:{number}: {target}")
+    bench_checked, bench_broken = check_bench_names(root)
+    for path, number, name in bench_broken:
+        print(f"UNKNOWN BENCH {path}:{number}: {name} "
+              f"(no bench/{name}.cc for the CMake glob to register)")
     print(f"checked {checked} relative links in "
-          f"{len(list(markdown_files(root)))} markdown files; "
-          f"{len(broken)} broken")
-    return 1 if broken else 0
+          f"{len(list(markdown_files(root)))} markdown files and "
+          f"{bench_checked} bench names in docs/BENCHMARKS.md; "
+          f"{len(broken)} broken links, {len(bench_broken)} unknown benches")
+    return 1 if (broken or bench_broken) else 0
 
 
 if __name__ == "__main__":
