@@ -61,6 +61,8 @@ GroupedCounts HashBaseline(const eep::table::Table& table,
     ++pair_counts[{codec.Pack(codes), (*estab_ids)[row]}];
   }
   std::unordered_map<uint64_t, GroupedCell> cells;
+  // eep-lint: order-insensitive -- counts sum per key and contributions
+  // are sorted per cell below, so the map walk order cannot show through.
   for (const auto& [pair, count] : pair_counts) {
     GroupedCell& cell = cells[pair.first];
     cell.key = pair.first;
@@ -69,6 +71,8 @@ GroupedCounts HashBaseline(const eep::table::Table& table,
   }
   GroupedCounts result{std::move(codec), {}};
   result.cells.reserve(cells.size());
+  // eep-lint: order-insensitive -- result.cells is sorted by key right
+  // after this loop, erasing the hash-map visit order.
   for (auto& [key, cell] : cells) {
     std::sort(cell.contributions.begin(), cell.contributions.end(),
               [](const EstabContribution& a, const EstabContribution& b) {

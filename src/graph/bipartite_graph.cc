@@ -27,6 +27,8 @@ Result<BipartiteGraph> BipartiteGraph::Create(std::vector<Edge> edges) {
   }
   g.edges_ = std::move(edges);
   g.num_workers_ = static_cast<int64_t>(workers.size());
+  // eep-lint: order-insensitive -- each entry's worker list is sorted
+  // independently; no cross-entry state is accumulated.
   for (auto& [estab, ws] : g.by_estab_) std::sort(ws.begin(), ws.end());
   return g;
 }
@@ -40,6 +42,8 @@ int64_t BipartiteGraph::EstabDegree(int64_t estab_id) const {
 std::vector<std::pair<int64_t, int64_t>> BipartiteGraph::EstabDegrees() const {
   std::vector<std::pair<int64_t, int64_t>> out;
   out.reserve(by_estab_.size());
+  // eep-lint: order-insensitive -- the pairs are sorted by estab_id below
+  // before they are returned.
   for (const auto& [estab, ws] : by_estab_) {
     out.emplace_back(estab, static_cast<int64_t>(ws.size()));
   }
@@ -49,12 +53,14 @@ std::vector<std::pair<int64_t, int64_t>> BipartiteGraph::EstabDegrees() const {
 
 std::vector<int64_t> BipartiteGraph::DegreeHistogram() const {
   std::vector<int64_t> hist(static_cast<size_t>(MaxEstabDegree()) + 1, 0);
+  // eep-lint: order-insensitive -- histogram increments commute.
   for (const auto& [estab, ws] : by_estab_) ++hist[ws.size()];
   return hist;
 }
 
 int64_t BipartiteGraph::MaxEstabDegree() const {
   int64_t best = 0;
+  // eep-lint: order-insensitive -- max is commutative and associative.
   for (const auto& [estab, ws] : by_estab_) {
     best = std::max(best, static_cast<int64_t>(ws.size()));
   }
@@ -63,6 +69,7 @@ int64_t BipartiteGraph::MaxEstabDegree() const {
 
 int64_t BipartiteGraph::CountEstablishmentsAbove(int64_t threshold) const {
   int64_t n = 0;
+  // eep-lint: order-insensitive -- counting matches commutes.
   for (const auto& [estab, ws] : by_estab_) {
     if (static_cast<int64_t>(ws.size()) > threshold) ++n;
   }

@@ -5,6 +5,17 @@
 
 namespace eep::sdl {
 
+namespace {
+// std::lgamma writes the process-global `signgam` (POSIX), a data race
+// when trial workers evaluate replacement probabilities concurrently.
+// Arguments here are strictly positive (k + c + 1/2 >= 3/2), so the sign
+// is always +1 and the reentrant form loses nothing.
+double LogGamma(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+}  // namespace
+
 SmallCellSampler::SmallCellSampler(double limit)
     : limit_(limit), max_value_(static_cast<int64_t>(std::floor(limit))) {}
 
@@ -32,8 +43,8 @@ Result<double> SmallCellSampler::ReplacementProbability(int64_t true_count,
   // support. Computed in log space for stability.
   const double a = static_cast<double>(true_count) + 0.5;
   auto log_weight = [a](int64_t kk) {
-    return std::lgamma(static_cast<double>(kk) + a) -
-           std::lgamma(static_cast<double>(kk) + 1.0) -
+    return LogGamma(static_cast<double>(kk) + a) -
+           LogGamma(static_cast<double>(kk) + 1.0) -
            static_cast<double>(kk) * std::log(2.0);
   };
   double total = 0.0;

@@ -250,6 +250,8 @@ std::vector<uint64_t> MaterializeGroupKeys(const Table& table,
   const int threads = ResolveGroupByThreads(num_threads);
   const size_t block =
       (n + static_cast<size_t>(threads) - 1) / static_cast<size_t>(threads);
+  // eep-lint: disjoint-writes -- worker w writes keys[begin, end) only,
+  // its contiguous row block; blocks partition [0, n).
   RunWorkers(threads, [&](int w) {
     const size_t begin = static_cast<size_t>(w) * block;
     const size_t end = std::min(n, begin + block);
@@ -341,6 +343,9 @@ std::vector<GroupedCell> AggregateByKeyAndEstabImpl(
     // Phase 2: scatter weighted packed items into partition order.
     std::vector<uint64_t> vals(items);
     std::vector<int64_t> weights(items);
+    // eep-lint: disjoint-writes -- CursorsFromHists hands every
+    // (block, partition) pair a disjoint slice of vals/weights; worker w
+    // advances only its own block's cursors.
     RunWorkers(plan.threads, [&](int w) {
       CompressedBlock& block = blocks[static_cast<size_t>(w)];
       for (size_t i = 0; i < block.keys.size(); ++i) {
@@ -367,6 +372,8 @@ std::vector<GroupedCell> AggregateByKeyAndEstabImpl(
     });
   } else {
     std::vector<KeyEstabWeight> scattered(items);
+    // eep-lint: disjoint-writes -- same cursor argument as the packable
+    // path: each (block, partition) slice of `scattered` is private.
     RunWorkers(plan.threads, [&](int w) {
       CompressedBlock& block = blocks[static_cast<size_t>(w)];
       for (size_t i = 0; i < block.keys.size(); ++i) {
@@ -426,6 +433,8 @@ std::vector<std::pair<uint64_t, int64_t>> AggregateByKeyImpl(
 
   std::vector<uint64_t> vals(items);
   std::vector<int64_t> weights(items);
+  // eep-lint: disjoint-writes -- CursorsFromHists slices vals/weights
+  // disjointly per (block, partition); worker w owns block w's cursors.
   RunWorkers(plan.threads, [&](int w) {
     CompressedBlock& block = blocks[static_cast<size_t>(w)];
     for (size_t i = 0; i < block.keys.size(); ++i) {

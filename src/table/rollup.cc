@@ -266,6 +266,9 @@ Result<GroupedCounts> RollupGroupedCounts(const GroupedCounts& base,
       std::min<int>(ResolveGroupByThreads(num_threads),
                     std::max<int>(1, static_cast<int>(num_cells)));
   const std::vector<size_t> bounds = ItemBalancedCellBounds(offsets, threads);
+  // eep-lint: disjoint-writes -- worker w fills keys/estabs/weights at
+  // slots [offsets[bounds[w]], offsets[bounds[w+1]]), a partition of the
+  // flattened item range.
   RunOnWorkers(threads, [&](int w) {
     size_t slot = offsets[bounds[static_cast<size_t>(w)]];
     for (size_t c = bounds[static_cast<size_t>(w)];
@@ -319,6 +322,8 @@ Result<std::vector<std::pair<uint64_t, int64_t>>> RollupKeyCounts(
                     std::max<int>(1, static_cast<int>(base.size())));
   const size_t block = (base.size() + static_cast<size_t>(threads) - 1) /
                        static_cast<size_t>(threads);
+  // eep-lint: disjoint-writes -- worker w projects into keys/weights at
+  // [begin, end) only, its contiguous block of base items.
   RunOnWorkers(threads, [&](int w) {
     const size_t begin = static_cast<size_t>(w) * block;
     const size_t end = std::min(base.size(), begin + block);

@@ -1,0 +1,88 @@
+// Self-test for tools/eep_lint.py, wired into tier-1 CTest.
+//
+// Three checks, all shelling out to the linter with the source checkout
+// baked in via EEP_SOURCE_DIR:
+//   1. the rule registry exposes at least the six contracted rules;
+//   2. every fixture under tests/lint_fixtures behaves as labelled
+//      (violate_<rule>*.cc yields exactly that rule, clean_*.cc yields
+//      nothing) — this is the linter's own regression suite;
+//   3. the real tree lints clean, so a PR that introduces a contract
+//      violation (or an unjustified suppression) fails tier-1 here, not
+//      just in the CI lint job.
+//
+// Skips (rather than fails) when python3 is not on PATH so the C++ test
+// suite stays runnable on build images without Python.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef EEP_SOURCE_DIR
+#define EEP_SOURCE_DIR "."
+#endif
+
+bool HavePython() {
+  return std::system("python3 --version > /dev/null 2>&1") == 0;
+}
+
+std::string LintPath() {
+  return std::string(EEP_SOURCE_DIR) + "/tools/eep_lint.py";
+}
+
+// Runs `python3 eep_lint.py <args>`, returns the exit status (-1 if the
+// shell itself failed) and captures combined stdout+stderr into *output.
+int RunLint(const std::string& args, std::string* output) {
+  const std::string cmd =
+      "python3 " + LintPath() + " " + args + " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> buf;
+  output->clear();
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe)) {
+    *output += buf.data();
+  }
+  const int status = pclose(pipe);
+  return status < 0 ? -1 : WEXITSTATUS(status);
+}
+
+TEST(LintFixtureTest, RegistryHasContractedRules) {
+  if (!HavePython()) GTEST_SKIP() << "python3 not on PATH";
+  std::string out;
+  ASSERT_EQ(RunLint("--list-rules", &out), 0) << out;
+  for (const char* rule :
+       {"rng-source", "worker-shared-rng", "unordered-iteration",
+        "release-layering", "worker-shared-mutation",
+        "worker-float-accumulation", "module-layering"}) {
+    EXPECT_NE(out.find(rule), std::string::npos)
+        << "rule '" << rule << "' missing from --list-rules:\n"
+        << out;
+  }
+}
+
+TEST(LintFixtureTest, FixturesBehaveAsLabelled) {
+  if (!HavePython()) GTEST_SKIP() << "python3 not on PATH";
+  std::string out;
+  const int status = RunLint(
+      std::string("--fixtures ") + EEP_SOURCE_DIR + "/tests/lint_fixtures",
+      &out);
+  EXPECT_EQ(status, 0) << out;
+  // The fixture suite must actually exercise every rule: one violate +
+  // one clean file per rule is the floor (7 rules -> >= 14 expectations).
+  EXPECT_NE(out.find("expectations"), std::string::npos) << out;
+}
+
+TEST(LintFixtureTest, RealTreeLintsClean) {
+  if (!HavePython()) GTEST_SKIP() << "python3 not on PATH";
+  std::string out;
+  const int status =
+      RunLint(std::string("--root ") + EEP_SOURCE_DIR, &out);
+  EXPECT_EQ(status, 0)
+      << "eep_lint found contract violations in the tree:\n"
+      << out;
+}
+
+}  // namespace

@@ -1,0 +1,10 @@
+// The lodes module does not link eep_mechanisms (fixture DAG), so drawing
+// release noise here skips the layers that charge the PrivacyAccountant.
+namespace fixture {
+
+template <typename Mechanism, typename Query, typename Rng>
+double RogueRelease(Mechanism& mechanism, const Query& query, Rng& rng) {
+  return mechanism.Release(query, rng);
+}
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Placeholder translation unit for the fixture module DAG. The fixture
+// tree is never built — eep_lint only parses these CMakeLists.txt files
+// to recover the target_link_libraries DAG for its layering rules.
+namespace fixture_mechanisms {}

@@ -1,0 +1,13 @@
+// The release module links eep_mechanisms and charges the accountant
+// before any noise is drawn — Release calls are allowed here.
+namespace fixture {
+
+template <typename Accountant, typename Mechanism, typename Query,
+          typename Rng>
+double ChargedRelease(Accountant& accountant, Mechanism& mechanism,
+                      const Query& query, Rng& rng) {
+  accountant.ChargeMarginal("fixture", 1.0, 1, 0.0);
+  return mechanism.Release(query, rng);
+}
+
+}  // namespace fixture

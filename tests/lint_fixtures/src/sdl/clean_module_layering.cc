@@ -1,0 +1,9 @@
+// Includes that follow the DAG (own module + declared dependencies) pass.
+#include "common/status.h"
+#include "sdl/helpers.h"
+
+namespace fixture {
+
+int RespectsLayering() { return 1; }
+
+}  // namespace fixture

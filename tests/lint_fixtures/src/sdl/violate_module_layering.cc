@@ -1,0 +1,9 @@
+// sdl depends only on common in the fixture DAG; reaching into release/
+// inverts the module DAG.
+#include "release/pipeline.h"
+
+namespace fixture {
+
+int UsesUpperLayer() { return 1; }
+
+}  // namespace fixture

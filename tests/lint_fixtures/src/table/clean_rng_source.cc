@@ -1,0 +1,17 @@
+// The blessed pattern: an explicitly seeded Rng, reproducible bit-for-bit.
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  double Uniform();
+};
+
+double SeededDraw(uint64_t seed) {
+  Rng rng(seed);
+  return rng.Uniform();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Lookups (find / count / operator[]) on unordered containers are fine —
+// only iteration order is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+int64_t Lookup(const std::unordered_map<int64_t, int64_t>& counts,
+               int64_t key) {
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Iteration with a justified order-insensitivity argument passes.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+int64_t Total(const std::unordered_map<int64_t, int64_t>& counts) {
+  int64_t total = 0;
+  // eep-lint: order-insensitive -- integer addition commutes; only the
+  // sum leaves this function.
+  for (const auto& [key, count] : counts) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace fixture

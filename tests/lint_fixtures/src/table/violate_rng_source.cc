@@ -1,0 +1,12 @@
+// Seeds noise from std::random_device: nondeterministic, bypasses Rng.
+#include <random>
+
+namespace fixture {
+
+int HardwareDraw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Time-seeded Rng: two runs of the same binary draw different noise.
+#include <ctime>
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  double Uniform();
+};
+
+double ClockSeededDraw() {
+  Rng rng(static_cast<uint64_t>(time(nullptr)));
+  return rng.Uniform();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Walks an unordered_map into an output vector: the row order of anything
+// built from this loop is implementation-defined.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int64_t> CountsInHashOrder(
+    const std::unordered_map<int64_t, int64_t>& counts) {
+  std::vector<int64_t> out;
+  for (const auto& [key, count] : counts) {
+    out.push_back(count);
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// A suppression WITHOUT a justification must not silence the finding.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int64_t> StillFlagged(
+    const std::unordered_map<int64_t, int64_t>& counts) {
+  std::vector<int64_t> out;
+  // eep-lint: order-insensitive
+  for (const auto& [key, count] : counts) {
+    out.push_back(count);
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -79,6 +79,37 @@ def check_bench_names(root):
     return len(names), broken
 
 
+# Lint rule ids as docs reference them: `eep-lint:<rule-id>`. Fenced code
+# blocks are not skipped — the enforcement matrix uses inline code spans.
+LINT_REF_RE = re.compile(r"\beep-lint:([a-z0-9-]+)")
+
+
+def check_lint_rule_ids(root):
+    """Every eep-lint:<id> referenced in docs/ARCHITECTURE.md must exist in
+    the RULES registry of tools/eep_lint.py (and suppression tokens in its
+    SUPPRESS_TOKENS map count too). Returns (checked, broken)."""
+    doc = os.path.join(root, "docs", "ARCHITECTURE.md")
+    lint = os.path.join(root, "tools", "eep_lint.py")
+    if not os.path.exists(doc) or not os.path.exists(lint):
+        return 0, []
+    with open(lint, encoding="utf-8") as handle:
+        lint_src = handle.read()
+    known = set()
+    for table in ("RULES", "SUPPRESS_TOKENS"):
+        m = re.search(table + r"\s*=\s*\{(.*?)\n\}", lint_src, re.S)
+        if m:
+            known |= set(re.findall(r'"([a-z0-9-]+)"\s*:', m.group(1)))
+    broken = []
+    refs = set()
+    with open(doc, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for rule in LINT_REF_RE.findall(line):
+                refs.add(rule)
+                if rule not in known:
+                    broken.append((os.path.relpath(doc, root), number, rule))
+    return len(refs), broken
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -101,11 +132,17 @@ def main():
     for path, number, name in bench_broken:
         print(f"UNKNOWN BENCH {path}:{number}: {name} "
               f"(no bench/{name}.cc for the CMake glob to register)")
+    lint_checked, lint_broken = check_lint_rule_ids(root)
+    for path, number, rule in lint_broken:
+        print(f"UNKNOWN LINT RULE {path}:{number}: eep-lint:{rule} "
+              f"(not in tools/eep_lint.py's RULES/SUPPRESS_TOKENS)")
     print(f"checked {checked} relative links in "
-          f"{len(list(markdown_files(root)))} markdown files and "
-          f"{bench_checked} bench names in docs/BENCHMARKS.md; "
-          f"{len(broken)} broken links, {len(bench_broken)} unknown benches")
-    return 1 if (broken or bench_broken) else 0
+          f"{len(list(markdown_files(root)))} markdown files, "
+          f"{bench_checked} bench names in docs/BENCHMARKS.md, and "
+          f"{lint_checked} eep-lint rule ids in docs/ARCHITECTURE.md; "
+          f"{len(broken)} broken links, {len(bench_broken)} unknown benches, "
+          f"{len(lint_broken)} unknown lint rules")
+    return 1 if (broken or bench_broken or lint_broken) else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,919 @@
+#!/usr/bin/env python3
+"""eep_lint: static enforcement of the repo's determinism/privacy contracts.
+
+The engine's headline property — released tables bit-identical for every
+thread count, budget charged before any noise is drawn — is documented in
+docs/ARCHITECTURE.md and, until this tool existed, enforced only by
+after-the-fact equality tests. eep_lint encodes each contract as a named,
+individually suppressible rule and checks the whole tree at lint time.
+
+Engine: a lexical/structural C++ analyzer (comment/string stripping, brace
+matching, worker-lambda region extraction) driven by the build's
+compile_commands.json when present and a source walk otherwise. When the
+libclang Python bindings are importable they refine the worker-region
+analysis; the container and CI do not need them — the lexical engine is
+the engine of record, and the fixture suite under tests/lint_fixtures
+pins its behavior.
+
+Rules (ids are stable; docs reference them as eep-lint:<id>):
+
+  rng-source                no std::rand / std::random_device / std::mt19937
+                            / time-seeded generators outside common/random.*.
+                            All randomness flows through the seeded Rng.
+  worker-shared-rng         inside worker lambdas (RunOnWorkers / RunWorkers
+                            / std::thread pools), a shared Rng may only be
+                            used via the const .Substream(k) derivation —
+                            never mutated (.NextUint64(), .Uniform(), even
+                            .Fork(), which advances the parent stream).
+  unordered-iteration       no iteration over std::unordered_{map,set,...}
+                            in the library or bench sources: iteration order
+                            is implementation-defined and anything it feeds
+                            (released tables, grouped counts, bench/JSON
+                            output) loses the determinism contract. Lookups
+                            (.find/.count/operator[]) are fine.
+  release-layering          mechanism Release()/ReleaseBatch() calls are
+                            allowed only in modules that link eep_mechanisms
+                            per the src/*/CMakeLists.txt DAG (mechanisms,
+                            eval, release) — the layers that charge the
+                            PrivacyAccountant before drawing noise.
+  worker-shared-mutation    inside worker lambdas, no mutation of captured
+                            state unless the variable is a std::atomic,
+                            declared inside the lambda, or the write pattern
+                            is annotated  // eep-lint: disjoint-writes -- why
+  worker-float-accumulation no float/double += accumulation into shared
+                            state inside worker lambdas (FP addition is not
+                            associative; cross-worker merge order would leak
+                            into released values) unless the site is a
+                            blessed merge kernel:
+                            // eep-lint: blessed-merge -- why
+  module-layering           a src/<mod> file may #include only from modules
+                            in <mod>'s transitive dependency set of the
+                            CMake DAG (and <mod> itself).
+
+Suppression syntax (in-code, justification after `--` is REQUIRED):
+
+  // eep-lint: disjoint-writes -- each worker writes rows[begin, end)
+  // eep-lint: order-insensitive -- result is re-sorted before use
+  // eep-lint: blessed-merge -- serial merge order fixed by trial index
+  // eep-lint: suppress(<rule-id>) -- justification
+
+An annotation suppresses findings on its own line, the next line, or —
+when placed on the opening line of a worker lambda — the whole region.
+A suppression without a justification is itself reported.
+
+Usage:
+  tools/eep_lint.py [--root DIR] [-p BUILD_DIR] [--rules id,id] [-v]
+  tools/eep_lint.py --list-rules
+  tools/eep_lint.py --fixtures tests/lint_fixtures
+
+Exit status: 0 clean, 1 unsuppressed findings (or fixture expectations
+violated), 2 usage/environment error.
+"""
+import argparse
+import json
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule registry. check_docs.py parses this dict literally, so keep one
+# "<id>": "<summary>" entry per line.
+# ---------------------------------------------------------------------------
+RULES = {
+    "rng-source": "randomness outside the seeded Rng (common/random.*)",
+    "worker-shared-rng": "shared Rng used in a worker region other than via .Substream(k)",
+    "unordered-iteration": "iteration over an unordered container (order is implementation-defined)",
+    "release-layering": "mechanism Release*/ReleaseBatch called outside accountant-charging layers",
+    "worker-shared-mutation": "captured state mutated in a worker region without atomic/disjoint-writes",
+    "worker-float-accumulation": "float accumulation across worker boundaries outside blessed merge kernels",
+    "module-layering": "#include crossing the module DAG of src/*/CMakeLists.txt",
+}
+
+SUPPRESS_TOKENS = {
+    "disjoint-writes": "worker-shared-mutation",
+    "order-insensitive": "unordered-iteration",
+    "blessed-merge": "worker-float-accumulation",
+}
+
+ANNOT_RE = re.compile(
+    r"eep-lint:\s*(disjoint-writes|order-insensitive|blessed-merge|"
+    r"suppress\(([\w-]+)\))\s*(?:--\s*(\S.*))?")
+
+SOURCE_EXTS = (".cc", ".h")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.suppressed = False
+        self.suppression_note = ""
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Lexing: strip comments and string/char literals while preserving the line
+# structure, and record comment text per line for suppression annotations.
+# ---------------------------------------------------------------------------
+def sanitize(text):
+    """Returns (code, comments) where `code` is `text` with comments and
+    string/char literal contents replaced by spaces (newlines kept) and
+    `comments` maps 1-based line -> concatenated comment text."""
+    out = []
+    comments = {}
+    i = 0
+    line = 1
+    n = len(text)
+
+    def note(ln, s):
+        comments[ln] = comments.get(ln, "") + s
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            note(line, text[i:j])
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            for off, part in enumerate(chunk.split("\n")):
+                note(line + off, part)
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            line += chunk.count("\n")
+            i = j
+        elif c == '"':
+            # Raw string literal? R"delim( ... )delim"
+            if i >= 1 and text[i - 1] == "R" and (i < 2 or not (
+                    text[i - 2].isalnum() or text[i - 2] == "_")):
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    end_tok = ")" + m.group(1) + '"'
+                    j = text.find(end_tok, i)
+                    j = n if j == -1 else j + len(end_tok)
+                    chunk = text[i:j]
+                    out.append('""' + "".join(
+                        "\n" if ch == "\n" else " " for ch in chunk[2:]))
+                    line += chunk.count("\n")
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('"' + " " * (j - i - 2) + '"' if j - i >= 2 else '""')
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("'" + " " * (j - i - 2) + "'" if j - i >= 2 else "''")
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    return "".join(out), comments
+
+
+def line_of(code, pos, starts):
+    """1-based line of byte offset `pos` given precomputed line starts."""
+    lo, hi = 0, len(starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if starts[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def line_starts(code):
+    starts = [0]
+    for m in re.finditer(r"\n", code):
+        starts.append(m.end())
+    return starts
+
+
+def match_brace(code, open_pos):
+    """Position just past the brace matching code[open_pos] ('{' or '(')."""
+    open_ch = code[open_pos]
+    close_ch = {"{": "}", "(": ")", "[": "]"}[open_ch]
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+# ---------------------------------------------------------------------------
+# Worker regions: lambda bodies handed to the parallel primitives.
+# ---------------------------------------------------------------------------
+WORKER_CALL_RE = re.compile(
+    r"\b(?:RunOnWorkers|RunWorkers)\s*\(|"
+    r"\bstd::thread\s*\(|"
+    r"\b\w+\.(?:emplace_back|push_back)\s*\(\s*(?=\[)")
+
+
+class WorkerRegion:
+    def __init__(self, start, end, start_line, end_line, captures,
+                 by_ref_default, body, body_offset, param_names):
+        self.start = start
+        self.end = end
+        self.start_line = start_line
+        self.end_line = end_line
+        self.captures = captures          # names captured by reference
+        self.by_ref_default = by_ref_default
+        self.body = body
+        self.body_offset = body_offset    # offset of body text in file code
+        self.param_names = param_names
+
+
+def thread_pool_names(code):
+    return set(re.findall(r"std::vector<\s*std::thread\s*>\s+(\w+)", code))
+
+
+def find_worker_regions(code, starts):
+    regions = []
+    pools = thread_pool_names(code)
+    for m in WORKER_CALL_RE.finditer(code):
+        text = m.group(0)
+        if "emplace_back" in text or "push_back" in text:
+            owner = text.split(".")[0].strip()
+            if owner not in pools:
+                continue
+        # Find the first lambda introducer in the argument list.
+        open_paren = code.find("(", m.end() - 1) if not text.rstrip().endswith(
+            "(") else m.end() - 1
+        if open_paren == -1:
+            continue
+        args_end = match_brace(code, open_paren)
+        lb = code.find("[", open_paren, args_end)
+        if lb == -1:
+            continue
+        cap_end = match_brace(code, lb)  # past ']'
+        cap_text = code[lb + 1:cap_end - 1]
+        by_ref_default = False
+        captures = set()
+        for item in cap_text.split(","):
+            item = item.strip()
+            if item == "&":
+                by_ref_default = True
+            elif item.startswith("&"):
+                captures.add(item[1:].split("=")[0].strip())
+        # Optional parameter list.
+        j = cap_end
+        while j < len(code) and code[j].isspace():
+            j += 1
+        param_names = set()
+        if j < len(code) and code[j] == "(":
+            params_close = match_brace(code, j)
+            for p in code[j + 1:params_close - 1].split(","):
+                toks = re.findall(r"[A-Za-z_]\w*", p)
+                if toks:
+                    param_names.add(toks[-1])
+            j = params_close
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] != "{":
+            continue
+        body_end = match_brace(code, j)
+        regions.append(WorkerRegion(
+            start=m.start(), end=body_end,
+            start_line=line_of(code, m.start(), starts),
+            end_line=line_of(code, body_end - 1, starts),
+            captures=captures, by_ref_default=by_ref_default,
+            body=code[j + 1:body_end - 1], body_offset=j + 1,
+            param_names=param_names))
+    return regions
+
+
+DECL_IN_BODY_RE = re.compile(
+    r"(?:^|[;{(])\s*(?:const\s+)?(?:[A-Za-z_][\w:]*"
+    r"(?:<[^<>;{}]*(?:<[^<>]*>)?[^<>;{}]*>)?)\s*[&*]?\s+"
+    r"([A-Za-z_]\w*)\s*(?:=|;|\{|\()", re.M)
+BINDING_RE = re.compile(r"auto\s*&?\s*\[([^\]]*)\]")
+FOR_DECL_RE = re.compile(r"for\s*\(\s*[\w:<>,\s&*]+?[\s&*]([A-Za-z_]\w*)\s*[=:]")
+
+
+def body_local_names(region):
+    names = set(region.param_names)
+    for m in DECL_IN_BODY_RE.finditer(region.body):
+        names.add(m.group(1))
+    for m in FOR_DECL_RE.finditer(region.body):
+        names.add(m.group(1))
+    for m in BINDING_RE.finditer(region.body):
+        for tok in m.group(1).split(","):
+            tok = tok.strip()
+            if tok:
+                names.add(tok)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Per-file declaration scans.
+# ---------------------------------------------------------------------------
+def atomic_names(code):
+    return set(re.findall(r"std::atomic(?:<[^>]*>|_\w+)\s+(\w+)", code))
+
+
+RNG_METHODS_MUTATING = (
+    "NextUint64|Uniform|FillUniform|UniformInt|Bernoulli|Normal|Exponential|"
+    "Laplace|LogNormal|Pareto|TwoSidedGeometric|FillTwoSidedGeometric|"
+    "Categorical|Permutation|Fork|Jump")
+
+
+def rng_names(code):
+    names = set(re.findall(r"\bRng\s*&?\s+(\w+)\s*[;=({,)]", code))
+    names |= set(re.findall(r"\bRng&\s*(\w+)", code))
+    # Containers of Rng (std::vector<Rng> trial_rngs) hold per-element
+    # streams; element access is judged at the use site, not here.
+    names -= set(re.findall(r"<\s*Rng\s*>\s+(\w+)", code))
+    return names
+
+
+def unordered_names(code):
+    """Identifiers declared with an unordered container type."""
+    names = set()
+    for m in re.finditer(r"\bunordered_(?:multi)?(?:map|set)\s*<", code):
+        open_angle = m.end() - 1
+        depth = 0
+        i = open_angle
+        while i < len(code):
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif code[i] in ";{}":
+                break
+            i += 1
+        if i >= len(code) or code[i] != ">":
+            continue
+        tail = code[i + 1:i + 200]
+        dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def float_names(code):
+    names = set(re.findall(r"\b(?:double|float)\s+(\w+)\s*[;=,){]", code))
+    names |= set(re.findall(r"std::vector<\s*(?:double|float)\s*>\s+(\w+)",
+                            code))
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Module DAG from src/*/CMakeLists.txt.
+# ---------------------------------------------------------------------------
+def parse_module_dag(root):
+    """Returns {module: set(direct dep modules)} from target_link_libraries
+    of each src/<module>/CMakeLists.txt."""
+    src = os.path.join(root, "src")
+    dag = {}
+    if not os.path.isdir(src):
+        return dag
+    for mod in sorted(os.listdir(src)):
+        cml = os.path.join(src, mod, "CMakeLists.txt")
+        if not os.path.isfile(cml):
+            continue
+        with open(cml, encoding="utf-8") as handle:
+            text = handle.read()
+        deps = set()
+        for m in re.finditer(
+                r"target_link_libraries\s*\(\s*eep_(\w+)((?:[^()]|\([^)]*\))*)\)",
+                text):
+            if m.group(1) != mod:
+                continue
+            deps |= {d for d in re.findall(r"\beep_(\w+)", m.group(2))
+                     if d != mod}
+        dag[mod] = deps
+    return dag
+
+
+def transitive_closure(dag):
+    closure = {}
+
+    def visit(mod, seen):
+        if mod in closure:
+            return closure[mod]
+        seen = seen | {mod}
+        acc = set()
+        for dep in dag.get(mod, ()):
+            if dep in seen:
+                continue  # cycle: reported separately if it ever happens
+            acc.add(dep)
+            acc |= visit(dep, seen)
+        closure[mod] = acc
+        return acc
+
+    for mod in dag:
+        visit(mod, set())
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# The checker.
+# ---------------------------------------------------------------------------
+class FileContext:
+    def __init__(self, root, path):
+        self.root = root
+        self.path = path
+        self.rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            self.text = handle.read()
+        self.code, self.comments = sanitize(self.text)
+        self.starts = line_starts(self.code)
+        # Pull declarations from the paired header so members declared in
+        # foo.h are recognized when foo.cc uses them.
+        paired = ""
+        base, ext = os.path.splitext(path)
+        if ext == ".cc" and os.path.isfile(base + ".h"):
+            with open(base + ".h", encoding="utf-8",
+                      errors="replace") as handle:
+                paired = sanitize(handle.read())[0]
+        decl_code = self.code + "\n" + paired
+        self.unordered = unordered_names(decl_code)
+        self.rngs = rng_names(decl_code)
+        self.atomics = atomic_names(decl_code)
+        self.floats = float_names(decl_code)
+        self.regions = find_worker_regions(self.code, self.starts)
+
+    def module(self):
+        parts = self.rel.split(os.sep)
+        if len(parts) >= 3 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    def top_dir(self):
+        return self.rel.split(os.sep)[0]
+
+    def region_at(self, line):
+        for region in self.regions:
+            if region.start_line <= line <= region.end_line:
+                return region
+        return None
+
+
+def annotation_for(ctx, line):
+    """Parsed eep-lint annotation on `line`, or None."""
+    m = ANNOT_RE.search(ctx.comments.get(line, ""))
+    if not m:
+        return None
+    token, explicit_rule, why = m.group(1), m.group(2), m.group(3)
+    rule = explicit_rule if token.startswith("suppress(") else \
+        SUPPRESS_TOKENS.get(token)
+    return (rule, why, token)
+
+
+def try_suppress(ctx, finding, findings):
+    """Marks `finding` suppressed when a matching annotation covers it."""
+    def comment_block_above(line):
+        """`line` itself plus the contiguous run of comment lines above it
+        — where an annotation for the statement at `line` may live."""
+        lines = [line]
+        probe = line - 1
+        while probe > 0 and probe in ctx.comments and len(lines) < 12:
+            lines.append(probe)
+            probe -= 1
+        return lines
+
+    region = ctx.region_at(finding.line)
+    lines = comment_block_above(finding.line)
+    if region is not None:
+        lines.extend(comment_block_above(region.start_line))
+    for line in lines:
+        annot = annotation_for(ctx, line)
+        if annot is None:
+            continue
+        rule, why, token = annot
+        if rule != finding.rule:
+            continue
+        if not why:
+            findings.append(Finding(
+                ctx.rel, line, finding.rule,
+                f"suppression '{token}' is missing a justification "
+                "(write: // eep-lint: %s -- <why this is safe>)" % token))
+            return True  # the original finding is replaced by this one
+        finding.suppressed = True
+        finding.suppression_note = why.strip()
+        return True
+    return False
+
+
+def is_exempt_rng_file(rel):
+    rel = rel.replace(os.sep, "/")
+    return rel in ("src/common/random.cc", "src/common/random.h")
+
+
+RNG_SOURCE_RE = re.compile(
+    r"\bstd::rand\b|\bstd::random_device\b|\brandom_device\b|"
+    r"\bstd::mt19937(?:_64)?\b|\bmt19937(?:_64)?\b|\bsrand\s*\(|"
+    r"\bstd::default_random_engine\b|\barc4random\b|"
+    r"(?<![\w.])rand\s*\(\s*\)")
+TIME_SEED_RE = re.compile(
+    r"\bRng\s*(?:\w+\s*)?\(\s*[^)]*(?:\btime\s*\(|system_clock|"
+    r"steady_clock|high_resolution_clock)")
+
+
+def check_rng_source(ctx, findings):
+    if is_exempt_rng_file(ctx.rel):
+        return
+    for m in RNG_SOURCE_RE.finditer(ctx.code):
+        line = line_of(ctx.code, m.start(), ctx.starts)
+        findings.append(Finding(
+            ctx.rel, line, "rng-source",
+            f"'{m.group(0).strip()}' bypasses the seeded Rng; all "
+            "randomness must flow through common/random.h"))
+    for m in TIME_SEED_RE.finditer(ctx.code):
+        line = line_of(ctx.code, m.start(), ctx.starts)
+        findings.append(Finding(
+            ctx.rel, line, "rng-source",
+            "Rng seeded from a clock: seeds must be explicit so runs are "
+            "reproducible"))
+
+
+def check_worker_shared_rng(ctx, findings):
+    method_re = re.compile(
+        r"\b(\w+)\s*\.\s*(%s)\s*\(" % RNG_METHODS_MUTATING)
+    for region in ctx.regions:
+        locals_ = body_local_names(region)
+        for m in method_re.finditer(region.body):
+            name = m.group(1)
+            if name not in ctx.rngs or name in locals_:
+                continue
+            if not (region.by_ref_default or name in region.captures):
+                continue
+            pos = region.body_offset + m.start()
+            line = line_of(ctx.code, pos, ctx.starts)
+            findings.append(Finding(
+                ctx.rel, line, "worker-shared-rng",
+                f"shared Rng '{name}' mutated via .{m.group(2)}() inside a "
+                "worker region; derive a per-shard stream with "
+                f"{name}.Substream(k) instead (.Fork() also advances the "
+                "parent and is equally racy)"))
+
+
+ITER_FOR_RE = re.compile(r"for\s*\([^;()]*?:\s*([\w.>-]+?)\s*\)")
+ITER_BEGIN_RE = re.compile(r"(?<![\w.>])(\w+)\s*\.\s*c?begin\s*\(")
+
+
+def check_unordered_iteration(ctx, findings):
+    if not ctx.unordered:
+        return
+    def tail_ident(expr):
+        return re.split(r"\.|->", expr)[-1]
+    for m in ITER_FOR_RE.finditer(ctx.code):
+        name = tail_ident(m.group(1))
+        if name in ctx.unordered:
+            line = line_of(ctx.code, m.start(), ctx.starts)
+            findings.append(Finding(
+                ctx.rel, line, "unordered-iteration",
+                f"range-for over unordered container '{name}': iteration "
+                "order is implementation-defined and must not reach "
+                "released tables, grouped counts, or bench/JSON output"))
+    for m in ITER_BEGIN_RE.finditer(ctx.code):
+        name = m.group(1)
+        if name in ctx.unordered:
+            line = line_of(ctx.code, m.start(), ctx.starts)
+            findings.append(Finding(
+                ctx.rel, line, "unordered-iteration",
+                f"iterator walk of unordered container '{name}': iteration "
+                "order is implementation-defined"))
+
+
+RELEASE_CALL_RE = re.compile(r"(?:\.|->)\s*(Release|ReleaseBatch)\s*\(")
+
+
+def check_release_layering(ctx, findings, allowed_modules):
+    mod = ctx.module()
+    if mod is None or mod in allowed_modules:
+        return
+    for m in RELEASE_CALL_RE.finditer(ctx.code):
+        line = line_of(ctx.code, m.start(), ctx.starts)
+        findings.append(Finding(
+            ctx.rel, line, "release-layering",
+            f"mechanism {m.group(1)}() called from module '{mod}', which "
+            "does not link eep_mechanisms; only the accountant-charging "
+            f"layers ({', '.join(sorted(allowed_modules))}) may draw "
+            "release noise"))
+
+
+# Mutations are attributed to the ROOT of the access chain: in
+# `cell.contributions.push_back(...)` the mutated object is `cell`, so a
+# body-local `cell` makes the write private even though `contributions`
+# is a member. Plain writes to locals are filtered by body_local_names.
+CHAIN = r"(?<![\w.>])([A-Za-z_]\w*)(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*"
+MUTATION_RES = [
+    (re.compile(CHAIN + r"\s*(?:\[[^\]\n]*\]\s*)+(?:=(?!=)|\+=|-=|\*=|/=|"
+                r"\|=|&=|\^=|\+\+|--)"),
+     "element write through '{name}[...]'"),
+    (re.compile(CHAIN + r"\s*(?:\.|->)\s*(?:push_back|emplace_back|insert|"
+                r"clear|resize|assign|erase|pop_back)\s*\("),
+     "container mutation rooted at '{name}'"),
+    (re.compile(CHAIN + r"\s*(?:\+=|-=|\*=|/=|\|=|&=|\^=)"),
+     "compound assignment rooted at '{name}'"),
+    (re.compile(r"(?:\+\+|--)\s*" + CHAIN), "increment rooted at '{name}'"),
+    (re.compile(CHAIN + r"\s*(?:\+\+|--)(?!\w)"), "increment of '{name}'"),
+]
+
+
+def check_worker_shared_mutation(ctx, findings):
+    for region in ctx.regions:
+        locals_ = body_local_names(region)
+        seen = set()
+        for rex, what in MUTATION_RES:
+            for m in rex.finditer(region.body):
+                name = m.group(1)
+                if name in locals_ or name in ctx.atomics:
+                    continue
+                if "+=" in m.group(0) and name in ctx.floats:
+                    continue  # worker-float-accumulation owns this site
+
+                if not (region.by_ref_default or name in region.captures):
+                    continue
+                pos = region.body_offset + m.start()
+                line = line_of(ctx.code, pos, ctx.starts)
+                if (name, line) in seen:
+                    continue
+                seen.add((name, line))
+                findings.append(Finding(
+                    ctx.rel, line, "worker-shared-mutation",
+                    what.format(name=name) + " on captured state inside a "
+                    "worker region; make it atomic, thread-local, or "
+                    "annotate the disjoint-write partition "
+                    "(// eep-lint: disjoint-writes -- <why>)"))
+
+
+FLOAT_ACCUM_RE = re.compile(r"\b(\w+)(?:\s*\[[^\]\n]*\])?\s*\+=")
+
+
+def check_worker_float_accumulation(ctx, findings):
+    for region in ctx.regions:
+        locals_ = body_local_names(region)
+        for m in FLOAT_ACCUM_RE.finditer(region.body):
+            name = m.group(1)
+            if name not in ctx.floats or name in locals_:
+                continue
+            if not (region.by_ref_default or name in region.captures):
+                continue
+            pos = region.body_offset + m.start()
+            line = line_of(ctx.code, pos, ctx.starts)
+            findings.append(Finding(
+                ctx.rel, line, "worker-float-accumulation",
+                f"float accumulation into '{name}' inside a worker region: "
+                "FP addition is not associative, so worker merge order "
+                "would leak into results; accumulate per-worker partials "
+                "and merge in a fixed serial order "
+                "(// eep-lint: blessed-merge -- <why> if this site is one)"))
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([\w./-]+)"', re.M)
+
+
+def check_module_layering(ctx, findings, closure):
+    mod = ctx.module()
+    if mod is None or mod not in closure:
+        return
+    allowed = closure[mod] | {mod}
+    # Include paths are string literals, which sanitize() blanks — scan the
+    # raw text instead (it is position-identical to the sanitized code) and
+    # use the sanitized code only to drop commented-out includes.
+    for m in INCLUDE_RE.finditer(ctx.text):
+        if "#" not in ctx.code[m.start():m.end()]:
+            continue
+        target = m.group(1).split("/")[0]
+        if target in closure and target not in allowed:
+            line = line_of(ctx.code, m.start(), ctx.starts)
+            findings.append(Finding(
+                ctx.rel, line, "module-layering",
+                f"module '{mod}' includes \"{m.group(1)}\" but does not "
+                f"depend on '{target}' in the src/*/CMakeLists.txt DAG "
+                f"(allowed: {', '.join(sorted(allowed))})"))
+
+
+# Rule id -> (checker, set of top-level dirs it applies to; None = all).
+def build_checkers(root):
+    dag = parse_module_dag(root)
+    closure = transitive_closure(dag)
+    allowed_release = {m for m, deps in closure.items()
+                      if "mechanisms" in deps} | {"mechanisms"}
+
+    return {
+        "rng-source": (check_rng_source, None),
+        "worker-shared-rng": (check_worker_shared_rng, None),
+        "unordered-iteration": (check_unordered_iteration, {"src", "bench"}),
+        "release-layering": (
+            lambda ctx, f: check_release_layering(ctx, f, allowed_release),
+            {"src"}),
+        "worker-shared-mutation": (check_worker_shared_mutation, None),
+        "worker-float-accumulation": (check_worker_float_accumulation, None),
+        "module-layering": (
+            lambda ctx, f: check_module_layering(ctx, f, closure), {"src"}),
+    }
+
+
+# ---------------------------------------------------------------------------
+# File discovery.
+# ---------------------------------------------------------------------------
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+SKIP_DIR_PARTS = {"lint_fixtures", "build"}
+
+
+def discover_files(root, build_dir):
+    files = set()
+    cc_json = None
+    if build_dir:
+        candidate = os.path.join(build_dir, "compile_commands.json")
+        if os.path.isfile(candidate):
+            cc_json = candidate
+    if cc_json:
+        with open(cc_json, encoding="utf-8") as handle:
+            for entry in json.load(handle):
+                path = os.path.normpath(os.path.join(
+                    entry.get("directory", ""), entry["file"]))
+                if not path.startswith(os.path.abspath(root) + os.sep):
+                    continue
+                rel = os.path.relpath(path, root)
+                if rel.split(os.sep)[0] not in SCAN_DIRS:
+                    continue
+                if SKIP_DIR_PARTS & set(rel.split(os.sep)):
+                    continue
+                files.add(path)
+    for sub in SCAN_DIRS:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIR_PARTS]
+            for name in filenames:
+                if name.endswith(SOURCE_EXTS):
+                    files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def lint_files(root, files, rules):
+    checkers = build_checkers(root)
+    findings = []
+    for path in files:
+        ctx = FileContext(root, path)
+        top = ctx.top_dir()
+        raw = []
+        for rule in rules:
+            checker, dirs = checkers[rule]
+            if dirs is not None and top not in dirs:
+                continue
+            checker(ctx, raw)
+        for finding in raw:
+            # try_suppress appends a missing-justification finding itself
+            # when the annotation has no `-- why`; the original finding
+            # then stays active alongside it.
+            try_suppress(ctx, finding, findings)
+            findings.append(finding)
+    return findings
+
+
+def run_lint(args):
+    root = os.path.abspath(args.root)
+    rules = list(RULES)
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    files = args.paths or discover_files(root, args.build_dir)
+    files = [os.path.abspath(f) for f in files]
+    findings = lint_files(root, files, rules)
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+    for finding in active:
+        print(finding)
+    if args.verbose:
+        for finding in suppressed:
+            print(f"SUPPRESSED {finding} -- {finding.suppression_note}")
+    print(f"eep_lint: {len(files)} files, {len(rules)} rules, "
+          f"{len(active)} findings, {len(suppressed)} suppressed")
+    return 1 if active else 0
+
+
+# ---------------------------------------------------------------------------
+# Fixture self-test: tests/lint_fixtures is a miniature repo (its own
+# src/*/CMakeLists.txt DAG). Every violate_<rule>[_...].cc must produce at
+# least one finding of exactly that rule and nothing else; every
+# clean_*.cc must produce none.
+# ---------------------------------------------------------------------------
+def expected_rule(filename):
+    stem = os.path.splitext(os.path.basename(filename))[0]
+    if not stem.startswith("violate_"):
+        return None
+    tail = stem[len("violate_"):]
+    tail = re.sub(r"_\d+$", "", tail)
+    return tail.replace("_", "-")
+
+
+def run_fixtures(fixture_root):
+    root = os.path.abspath(fixture_root)
+    if not os.path.isdir(root):
+        print(f"fixture root not found: {root}", file=sys.stderr)
+        return 2
+    files = []
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                files.append(os.path.join(dirpath, name))
+    files.sort()
+    findings = lint_files(root, files, list(RULES))
+    by_file = {}
+    for finding in findings:
+        if not finding.suppressed:
+            by_file.setdefault(finding.path, []).append(finding)
+
+    failures = []
+    checked = 0
+    for path in files:
+        rel = os.path.relpath(path, root)
+        base = os.path.basename(path)
+        got = by_file.get(rel, [])
+        rules_hit = {f.rule for f in got}
+        if base.startswith("violate_"):
+            want = expected_rule(base)
+            checked += 1
+            if want not in RULES:
+                failures.append(f"{rel}: fixture names unknown rule '{want}'")
+            elif want not in rules_hit:
+                failures.append(
+                    f"{rel}: expected a [{want}] finding, got "
+                    f"{sorted(rules_hit) or 'none'}")
+            elif rules_hit - {want}:
+                failures.append(
+                    f"{rel}: extra findings beyond [{want}]: "
+                    f"{sorted(rules_hit - {want})}")
+        elif base.startswith("clean_"):
+            checked += 1
+            if got:
+                failures.append(
+                    f"{rel}: expected no findings, got " +
+                    "; ".join(str(f) for f in got))
+    for failure in failures:
+        print(f"FIXTURE FAIL {failure}")
+    print(f"eep_lint fixtures: {checked} expectations, "
+          f"{len(failures)} failures")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="determinism/privacy contract linter (see module "
+                    "docstring for the rule catalog)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("-p", "--build-dir", default=None,
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--fixtures", metavar="DIR",
+                        help="run the fixture self-test over DIR")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also print suppressed findings")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint (default: discover)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule}: {summary}")
+        return 0
+    if args.fixtures:
+        return run_fixtures(args.fixtures)
+    if args.root is None:
+        args.root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+    if args.build_dir is None:
+        default_build = os.path.join(args.root, "build")
+        if os.path.isfile(os.path.join(default_build,
+                                       "compile_commands.json")):
+            args.build_dir = default_build
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

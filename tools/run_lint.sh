@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# One-command local lint: runs the eep_lint contract checker (always) and
+# clang-tidy (when installed) over the tree, using the compilation database
+# exported by CMake. Configures a build dir first if none exists.
+#
+# Usage: tools/run_lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+  echo "== no compile_commands.json in $BUILD — configuring =="
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+echo "== eep_lint: fixture self-test =="
+python3 "$ROOT/tools/eep_lint.py" --fixtures "$ROOT/tests/lint_fixtures"
+
+echo "== eep_lint: full tree =="
+python3 "$ROOT/tools/eep_lint.py" --root "$ROOT" -p "$BUILD"
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy ($(clang-tidy --version | head -1)) =="
+  # Sources only; headers are covered through their includers. The fixture
+  # tree deliberately contains broken code and is excluded.
+  mapfile -t SOURCES < <(find "$ROOT/src" "$ROOT/bench" "$ROOT/examples" \
+    -name '*.cc' | sort)
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD" -quiet "${SOURCES[@]}"
+  else
+    clang-tidy -p "$BUILD" --quiet "${SOURCES[@]}"
+  fi
+else
+  echo "== clang-tidy not installed — skipped (CI runs it) =="
+fi
+
+echo "== lint OK =="
