@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
   const auto sdl_rank = RankDescending(sdl);
   const auto dp_rank = RankDescending(privately_released);
   for (int i = 0; i < 10; ++i) {
+    // eep-lint: declassify -- the "true" column deliberately shows the
+    // confidential top-10 ordering next to the released orderings so the
+    // demo can visualize rank distortion; synthetic data, demo-only
     table.AddRow({FormatDouble(i + 1),
                   data.places()[query.cells()[true_rank[i]].place_code].name,
                   data.places()[query.cells()[sdl_rank[i]].place_code].name,
@@ -108,6 +111,8 @@ int main(int argc, char** argv) {
     corr_table.AddRow(std::move(row));
   }
   corr_table.Print(std::cout);
+  // eep-lint: declassify -- a single rank-correlation coefficient against
+  // the truth is the demo's aggregate accuracy statistic, not a count
   std::printf(
       "\nSDL release vs truth Spearman: %.3f\n",
       SpearmanCorrelation(sdl, truth).value_or(0.0));

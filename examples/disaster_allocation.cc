@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   // Employment by place only: the count FEMA-style thresholds would use.
   lodes::MarginalSpec by_place{{lodes::kColPlace}, {}};
   auto query = lodes::MarginalQuery::Compute(data, by_place).value();
+  // eep-lint: declassify -- scenario banner states the synthetic input's
+  // total size; the allocation experiment below uses released counts only
   std::printf(
       "disaster-allocation scenario: %zu places, %lld jobs, $3.50/job\n\n",
       query.cells().size(), static_cast<long long>(data.num_jobs()));

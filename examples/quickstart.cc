@@ -31,6 +31,8 @@ int main() {
     std::cerr << data.status().ToString() << "\n";
     return 1;
   }
+  // eep-lint: declassify -- banner prints the synthetic generator's scale
+  // (totals of the demo input), not a protected tabulation cell
   std::printf("generated %lld jobs across %lld establishments\n",
               static_cast<long long>(data.value().num_jobs()),
               static_cast<long long>(data.value().num_establishments()));
@@ -81,6 +83,8 @@ int main() {
     auto label = query.codec()
                      .Describe(data.value().worker_full().schema(), cell.key)
                      .value();
+    // eep-lint: declassify -- the tutorial's point is the side-by-side
+    // true-vs-released comparison; the data is synthetic by construction
     std::printf("%-44s %10lld %10s\n", label.c_str(),
                 static_cast<long long>(cell.count),
                 released.value()[0].rows[i].back().c_str());

@@ -31,7 +31,7 @@ const char* StatusCodeName(StatusCode code);
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// message. Statuses are cheap to copy (message is shared only on error
 /// paths, which are expected to be rare).
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,7 +88,7 @@ class Status {
 /// Holds either a value or an error Status. Accessing the value of an error
 /// Result aborts (programming error), mirroring arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -62,6 +62,8 @@ Result<std::vector<double>> ExperimentRunner::ReleaseWithMechanism(
     cq.x_v = cell.x_v;
     const table::GroupedCell* grouped = query.grouped().Find(cell.key);
     cq.contributions = grouped ? &grouped->contributions : &kNoContribs;
+    // eep-lint: measurement-harness -- accuracy experiments sweep budgets
+    // as the independent variable; there is no ledger to charge by design
     EEP_ASSIGN_OR_RETURN(double v, mechanism.Release(cq, rng));
     out.push_back(v);
   }

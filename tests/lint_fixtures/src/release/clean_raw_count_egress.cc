@@ -1,0 +1,39 @@
+// The sanitized path: the count goes through the mechanism's Release (with
+// the budget charged and the Status checked first), and only the released
+// value reaches the sink.
+#include <vector>
+
+namespace fixture {
+
+struct GroupedCounts {
+  std::vector<long long> values;
+};
+
+class ChargeResult {
+ public:
+  bool ok() const { return true; }
+};
+
+struct BudgetLedger {
+  ChargeResult ChargeMarginal(const char* what, double eps, long long n,
+                              double delta);
+};
+
+struct ReleaseMechanism {
+  double Release(long long true_count, unsigned long long seed);
+};
+
+void WriteRow(double value);
+
+void ReleaseCounts(const GroupedCounts& counts, BudgetLedger& accountant,
+                   ReleaseMechanism& mechanism) {
+  if (!accountant.ChargeMarginal("fixture", 1.0, 1, 0.0).ok()) {
+    return;
+  }
+  for (long long v : counts.values) {
+    const double released = mechanism.Release(v, 7);
+    WriteRow(released);
+  }
+}
+
+}  // namespace fixture

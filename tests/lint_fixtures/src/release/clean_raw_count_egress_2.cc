@@ -1,0 +1,28 @@
+// Accepted-policy egress: an aggregate derived from raw counts is printed
+// under a justified declassify annotation — the flow pass still sees the
+// taint, but the written policy decision suppresses the finding.
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+struct AggCell {
+  long long count;
+};
+
+struct AggQuery {
+  std::vector<AggCell> cells_;
+  const std::vector<AggCell>& cells() const { return cells_; }
+};
+
+void ReportScale(const AggQuery& query) {
+  double total = 0.0;
+  for (const AggCell& cell : query.cells()) {
+    total += static_cast<double>(cell.count);
+  }
+  // eep-lint: declassify -- the workload-wide total is accepted release
+  // policy for this harness; no per-cell value is printed
+  std::printf("total=%f\n", total);
+}
+
+}  // namespace fixture

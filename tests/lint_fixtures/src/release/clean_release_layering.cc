@@ -6,7 +6,9 @@ template <typename Accountant, typename Mechanism, typename Query,
           typename Rng>
 double ChargedRelease(Accountant& accountant, Mechanism& mechanism,
                       const Query& query, Rng& rng) {
-  accountant.ChargeMarginal("fixture", 1.0, 1, 0.0);
+  if (!accountant.ChargeMarginal("fixture", 1.0, 1, 0.0).ok()) {
+    return 0.0;
+  }
   return mechanism.Release(query, rng);
 }
 

@@ -1,0 +1,32 @@
+// The helper draws noise without charging, but every caller charges (and
+// checks the Status) before the callsite: the bottom-up caller walk proves
+// the path is accounted.
+namespace fixture {
+
+class LedgerStatus {
+ public:
+  bool ok() const { return true; }
+};
+
+struct PathLedger {
+  LedgerStatus ChargeMarginal(const char* what, double eps, long long n,
+                              double delta);
+};
+
+struct PathMechanism {
+  double Release(long long true_count, unsigned long long seed);
+};
+
+double DrawNoise(PathMechanism& mechanism, long long true_count) {
+  return mechanism.Release(true_count, 7);
+}
+
+double ChargedPath(PathLedger& accountant, PathMechanism& mechanism,
+                   long long true_count) {
+  if (!accountant.ChargeMarginal("fixture", 1.0, 1, 0.0).ok()) {
+    return 0.0;
+  }
+  return DrawNoise(mechanism, true_count);
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Direct egress: a raw (un-noised) count written straight to a CSV row,
+// with no mechanism Release anywhere on the path.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct GroupedCounts {
+  std::vector<long long> values;
+};
+
+void WriteRow(const std::vector<std::string>& row);
+
+void DumpCounts(const GroupedCounts& counts) {
+  for (long long v : counts.values) {
+    WriteRow({std::to_string(v)});
+  }
+}
+
+}  // namespace fixture

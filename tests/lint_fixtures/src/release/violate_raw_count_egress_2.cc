@@ -1,0 +1,26 @@
+// One call deep: the helper returns the raw count, the caller prints it.
+// The interprocedural summary (FirstCount's return carries the source
+// label) is what connects the two.
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+struct MarginalCell {
+  long long count;
+};
+
+struct MarginalQuery {
+  std::vector<MarginalCell> cells_;
+  const std::vector<MarginalCell>& cells() const { return cells_; }
+};
+
+long long FirstCount(const MarginalQuery& query) {
+  return query.cells()[0].count;
+}
+
+void PrintFirst(const MarginalQuery& query) {
+  std::printf("first cell: %lld\n", FirstCount(query));
+}
+
+}  // namespace fixture

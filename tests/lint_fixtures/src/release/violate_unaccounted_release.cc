@@ -1,0 +1,13 @@
+// Noise drawn with no Charge* call on any path into the function: the
+// bottom-up caller walk finds no accounting anywhere.
+namespace fixture {
+
+struct FreeMechanism {
+  double Release(long long true_count, unsigned long long seed);
+};
+
+double UnaccountedDraw(FreeMechanism& mechanism, long long true_count) {
+  return mechanism.Release(true_count, 7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// The charge happens but its Status is discarded: a BUDGET refusal would
+// not stop the release, so the accounting is decorative.
+namespace fixture {
+
+class RefusableStatus {
+ public:
+  bool ok() const { return false; }
+};
+
+struct StrictLedger {
+  RefusableStatus ChargeMarginal(const char* what, double eps, long long n,
+                                 double delta);
+};
+
+struct NoisyMechanism {
+  double Release(long long true_count, unsigned long long seed);
+};
+
+double DiscardedCharge(StrictLedger& accountant, NoisyMechanism& mechanism,
+                       long long true_count) {
+  accountant.ChargeMarginal("fixture", 1.0, 1, 0.0);
+  return mechanism.Release(true_count, 7);
+}
+
+}  // namespace fixture

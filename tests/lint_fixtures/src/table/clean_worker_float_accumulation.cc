@@ -23,8 +23,9 @@ double SumDeterministic(const std::vector<double>& values, int threads) {
     partials[static_cast<size_t>(w)] = acc;
   });
   double total = 0.0;
-  // eep-lint: blessed-merge -- serial merge in worker-index order, outside
-  // the parallel region; the sum is a pure function of the partials.
+  // The serial merge runs outside the parallel region, in worker-index
+  // order, so it needs no blessed-merge annotation: the sum is a pure
+  // function of the partials.
   for (double partial : partials) total += partial;
   return total;
 }

@@ -1,0 +1,17 @@
+// A suppression whose finding is gone: nothing here iterates an unordered
+// container, so the annotation suppresses nothing and must be flagged —
+// dead justifications rot into false confidence.
+#include <vector>
+
+namespace fixture {
+
+// eep-lint: order-insensitive -- the histogram is re-sorted before use
+long long SumVector(const std::vector<long long>& values) {
+  long long total = 0;
+  for (long long v : values) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -86,19 +86,26 @@ LINT_REF_RE = re.compile(r"\beep-lint:([a-z0-9-]+)")
 
 def check_lint_rule_ids(root):
     """Every eep-lint:<id> referenced in docs/ARCHITECTURE.md must exist in
-    the RULES registry of tools/eep_lint.py (and suppression tokens in its
-    SUPPRESS_TOKENS map count too). Returns (checked, broken)."""
+    the RULES registry of tools/eep_lint/registry.py (and suppression
+    tokens in its SUPPRESS_TOKENS map count too) — and, in the other
+    direction, every registered rule id must be documented in the
+    ARCHITECTURE.md enforcement matrix, so a new rule cannot ship without
+    its contract being written down. Returns (checked, broken)."""
     doc = os.path.join(root, "docs", "ARCHITECTURE.md")
-    lint = os.path.join(root, "tools", "eep_lint.py")
+    lint = os.path.join(root, "tools", "eep_lint", "registry.py")
     if not os.path.exists(doc) or not os.path.exists(lint):
         return 0, []
     with open(lint, encoding="utf-8") as handle:
         lint_src = handle.read()
     known = set()
+    rules_only = set()
     for table in ("RULES", "SUPPRESS_TOKENS"):
         m = re.search(table + r"\s*=\s*\{(.*?)\n\}", lint_src, re.S)
         if m:
-            known |= set(re.findall(r'"([a-z0-9-]+)"\s*:', m.group(1)))
+            ids = set(re.findall(r'"([a-z0-9-]+)"\s*:', m.group(1)))
+            known |= ids
+            if table == "RULES":
+                rules_only |= ids
     broken = []
     refs = set()
     with open(doc, encoding="utf-8") as handle:
@@ -107,6 +114,9 @@ def check_lint_rule_ids(root):
                 refs.add(rule)
                 if rule not in known:
                     broken.append((os.path.relpath(doc, root), number, rule))
+    for rule in sorted(rules_only - refs):
+        broken.append((os.path.relpath(doc, root), 0,
+                       f"{rule} (registered but undocumented)"))
     return len(refs), broken
 
 
@@ -135,7 +145,7 @@ def main():
     lint_checked, lint_broken = check_lint_rule_ids(root)
     for path, number, rule in lint_broken:
         print(f"UNKNOWN LINT RULE {path}:{number}: eep-lint:{rule} "
-              f"(not in tools/eep_lint.py's RULES/SUPPRESS_TOKENS)")
+              f"(docs and tools/eep_lint/registry.py disagree)")
     print(f"checked {checked} relative links in "
           f"{len(list(markdown_files(root)))} markdown files, "
           f"{bench_checked} bench names in docs/BENCHMARKS.md, and "

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Entry point: `python3 tools/eep_lint` (or `python3 -m eep_lint` with the
+package on sys.path). The modules use plain top-level imports, so the
+package directory itself must be importable."""
+import os
+import sys
+
+_PKG_DIR = os.path.dirname(os.path.abspath(__file__))
+if _PKG_DIR not in sys.path:
+    sys.path.insert(0, _PKG_DIR)
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

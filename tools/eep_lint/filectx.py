@@ -1,0 +1,130 @@
+"""Per-file analysis context and the suppression-annotation machinery.
+
+A FileContext lexes its translation unit exactly once (via the memoized
+sanitize_file) and is shared by every rule, the symbol indexer, and the
+flow engine. It also records which annotation lines actually suppressed
+something, which is what the stale-suppression post-pass audits.
+"""
+import os
+
+from lexing import sanitize_file, line_starts, line_of
+from registry import ANNOT_RE, SUPPRESS_TOKENS, Finding
+import intra
+
+
+class FileContext:
+    def __init__(self, root, path):
+        self.root = root
+        self.path = path
+        self.rel = os.path.relpath(path, root)
+        self.text, self.code, self.comments = sanitize_file(path)
+        self.starts = line_starts(self.code)
+        # Pull declarations from the paired header so members declared in
+        # foo.h are recognized when foo.cc uses them.
+        paired = ""
+        base, ext = os.path.splitext(path)
+        if ext == ".cc" and os.path.isfile(base + ".h"):
+            paired = sanitize_file(base + ".h")[1]
+        decl_code = self.code + "\n" + paired
+        self.decl_code = decl_code
+        self.unordered = intra.unordered_names(decl_code)
+        self.rngs = intra.rng_names(decl_code)
+        self.atomics = intra.atomic_names(decl_code)
+        self.floats = intra.float_names(decl_code)
+        self.regions = intra.find_worker_regions(self.code, self.starts)
+        # line -> (rule, why, token) for every eep-lint annotation; lines
+        # that end up suppressing (or declassifying) something move into
+        # used_annotations. rules_run records which rule ids actually
+        # executed over this file, so staleness is only judged for
+        # annotations the active configuration could have exercised.
+        self.annotations = {}
+        for line, comment in self.comments.items():
+            m = ANNOT_RE.search(comment)
+            if m:
+                token, explicit_rule, why = m.group(1), m.group(2), m.group(3)
+                rule = explicit_rule if token.startswith("suppress(") else \
+                    SUPPRESS_TOKENS.get(token)
+                self.annotations[line] = (rule, why, token)
+        self.used_annotations = set()
+        self.rules_run = set()
+
+    def module(self):
+        parts = self.rel.split(os.sep)
+        if len(parts) >= 3 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    def top_dir(self):
+        return self.rel.split(os.sep)[0]
+
+    def region_at(self, line):
+        for region in self.regions:
+            if region.start_line <= line <= region.end_line:
+                return region
+        return None
+
+    def line_at(self, pos):
+        return line_of(self.code, pos, self.starts)
+
+
+def annotation_for(ctx, line):
+    """Parsed eep-lint annotation on `line`, or None."""
+    return ctx.annotations.get(line)
+
+
+def try_suppress(ctx, finding, findings):
+    """Marks `finding` suppressed when a matching annotation covers it."""
+    def comment_block_above(line):
+        """`line` itself plus the contiguous run of comment lines above it
+        — where an annotation for the statement at `line` may live."""
+        lines = [line]
+        probe = line - 1
+        while probe > 0 and probe in ctx.comments and len(lines) < 12:
+            lines.append(probe)
+            probe -= 1
+        return lines
+
+    region = ctx.region_at(finding.line)
+    lines = comment_block_above(finding.line)
+    if region is not None:
+        lines.extend(comment_block_above(region.start_line))
+    for line in lines:
+        annot = annotation_for(ctx, line)
+        if annot is None:
+            continue
+        rule, why, token = annot
+        if rule != finding.rule:
+            continue
+        ctx.used_annotations.add(line)
+        if not why:
+            findings.append(Finding(
+                ctx.rel, line, finding.rule,
+                f"suppression '{token}' is missing a justification "
+                "(write: // eep-lint: %s -- <why this is safe>)" % token))
+            return True  # the original finding is replaced by this one
+        finding.suppressed = True
+        finding.suppression_note = why.strip()
+        return True
+    return False
+
+
+def check_stale_suppressions(ctx, active_rules, findings):
+    """Flags annotations that suppressed nothing this run. Only judged when
+    the annotation's target rule actually executed over this file — an
+    annotation cannot be called stale by a run that never could have used
+    it (e.g. --fast skipping the flow rules, or a --rules subset)."""
+    for line in sorted(ctx.annotations):
+        if line in ctx.used_annotations:
+            continue
+        rule, _why, token = ctx.annotations[line]
+        if rule is None or rule not in active_rules:
+            continue
+        if rule not in ctx.rules_run and token != "declassify":
+            continue
+        if token == "declassify" and "raw-count-egress" not in ctx.rules_run:
+            continue
+        findings.append(Finding(
+            ctx.rel, line, "stale-suppression",
+            f"annotation '{token}' no longer suppresses any [{rule}] "
+            "finding; delete it (or fix the code it used to justify) so "
+            "the written justifications stay honest"))

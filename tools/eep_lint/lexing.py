@@ -1,0 +1,126 @@
+"""Lexing: comment/string stripping with line structure preserved.
+
+sanitize() is the single most expensive pass over a translation unit, and
+both the intraprocedural rules and the flow engine consume its output, so
+results are memoized per absolute path (the paired-header read of a .cc
+and the header's own FileContext share one lex).
+"""
+import re
+
+# abspath -> (code, comments). Keyed on path only: the linter runs over an
+# immutable snapshot of the tree, so mtime checking would buy nothing.
+_SANITIZE_CACHE = {}
+
+
+def sanitize(text):
+    """Returns (code, comments) where `code` is `text` with comments and
+    string/char literal contents replaced by spaces (newlines kept) and
+    `comments` maps 1-based line -> concatenated comment text."""
+    out = []
+    comments = {}
+    i = 0
+    line = 1
+    n = len(text)
+
+    def note(ln, s):
+        comments[ln] = comments.get(ln, "") + s
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            note(line, text[i:j])
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            for off, part in enumerate(chunk.split("\n")):
+                note(line + off, part)
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            line += chunk.count("\n")
+            i = j
+        elif c == '"':
+            # Raw string literal? R"delim( ... )delim"
+            if i >= 1 and text[i - 1] == "R" and (i < 2 or not (
+                    text[i - 2].isalnum() or text[i - 2] == "_")):
+                m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                if m:
+                    end_tok = ")" + m.group(1) + '"'
+                    j = text.find(end_tok, i)
+                    j = n if j == -1 else j + len(end_tok)
+                    chunk = text[i:j]
+                    out.append('""' + "".join(
+                        "\n" if ch == "\n" else " " for ch in chunk[2:]))
+                    line += chunk.count("\n")
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('"' + " " * (j - i - 2) + '"' if j - i >= 2 else '""')
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("'" + " " * (j - i - 2) + "'" if j - i >= 2 else "''")
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    return "".join(out), comments
+
+
+def sanitize_file(path):
+    """Memoized sanitize() of a file on disk."""
+    cached = _SANITIZE_CACHE.get(path)
+    if cached is not None:
+        return cached
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        text = handle.read()
+    result = (text,) + sanitize(text)
+    _SANITIZE_CACHE[path] = result
+    return result
+
+
+def line_of(code, pos, starts):
+    """1-based line of byte offset `pos` given precomputed line starts."""
+    lo, hi = 0, len(starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if starts[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+def line_starts(code):
+    starts = [0]
+    for m in re.finditer(r"\n", code):
+        starts.append(m.end())
+    return starts
+
+
+def match_brace(code, open_pos):
+    """Position just past the brace matching code[open_pos] ('{' or '(')."""
+    open_ch = code[open_pos]
+    close_ch = {"{": "}", "(": ")", "[": "]"}[open_ch]
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)

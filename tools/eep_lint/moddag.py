@@ -1,0 +1,49 @@
+"""Module DAG from src/*/CMakeLists.txt target_link_libraries."""
+import os
+import re
+
+
+def parse_module_dag(root):
+    """Returns {module: set(direct dep modules)} from target_link_libraries
+    of each src/<module>/CMakeLists.txt."""
+    src = os.path.join(root, "src")
+    dag = {}
+    if not os.path.isdir(src):
+        return dag
+    for mod in sorted(os.listdir(src)):
+        cml = os.path.join(src, mod, "CMakeLists.txt")
+        if not os.path.isfile(cml):
+            continue
+        with open(cml, encoding="utf-8") as handle:
+            text = handle.read()
+        deps = set()
+        for m in re.finditer(
+                r"target_link_libraries\s*\(\s*eep_(\w+)((?:[^()]|\([^)]*\))*)\)",
+                text):
+            if m.group(1) != mod:
+                continue
+            deps |= {d for d in re.findall(r"\beep_(\w+)", m.group(2))
+                     if d != mod}
+        dag[mod] = deps
+    return dag
+
+
+def transitive_closure(dag):
+    closure = {}
+
+    def visit(mod, seen):
+        if mod in closure:
+            return closure[mod]
+        seen = seen | {mod}
+        acc = set()
+        for dep in dag.get(mod, ()):
+            if dep in seen:
+                continue  # cycle: reported separately if it ever happens
+            acc.add(dep)
+            acc |= visit(dep, seen)
+        closure[mod] = acc
+        return acc
+
+    for mod in dag:
+        visit(mod, set())
+    return closure

@@ -1,0 +1,65 @@
+"""Rule registry and the in-code suppression grammar.
+
+check_docs.py parses the RULES and SUPPRESS_TOKENS dicts literally (one
+"<id>": "<summary>" entry per line, closing brace in column zero), so the
+formatting here is load-bearing: keep one entry per line.
+"""
+import re
+
+RULES = {
+    "rng-source": "randomness outside the seeded Rng (common/random.*)",
+    "worker-shared-rng": "shared Rng used in a worker region other than via .Substream(k)",
+    "unordered-iteration": "iteration over an unordered container (order is implementation-defined)",
+    "release-layering": "mechanism Release*/ReleaseBatch called outside accountant-charging layers",
+    "worker-shared-mutation": "captured state mutated in a worker region without atomic/disjoint-writes",
+    "worker-float-accumulation": "float accumulation across worker boundaries outside blessed merge kernels",
+    "module-layering": "#include crossing the module DAG of src/*/CMakeLists.txt",
+    "raw-count-egress": "a raw (un-noised) count flows to an output sink without a mechanism Release on the path",
+    "unaccounted-release": "release noise drawn on a path that never charges the PrivacyAccountant (or discards a refusal)",
+    "stale-suppression": "an eep-lint annotation that no longer suppresses any finding",
+}
+
+SUPPRESS_TOKENS = {
+    "disjoint-writes": "worker-shared-mutation",
+    "order-insensitive": "unordered-iteration",
+    "blessed-merge": "worker-float-accumulation",
+    "declassify": "raw-count-egress",
+    "custodian-only": "raw-count-egress",
+    "measurement-harness": "unaccounted-release",
+}
+
+# The flow rules are the interprocedural taint pass (tools/eep_lint/flow.py);
+# --fast skips them. stale-suppression is a post-pass over both engines.
+FLOW_RULES = ("raw-count-egress", "unaccounted-release")
+
+ANNOT_RE = re.compile(
+    r"eep-lint:\s*(disjoint-writes|order-insensitive|blessed-merge|"
+    r"declassify|custodian-only|measurement-harness|"
+    r"suppress\(([\w-]+)\))\s*(?:--\s*(\S.*))?")
+
+SOURCE_EXTS = (".cc", ".h")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.suppressed = False
+        self.suppression_note = ""
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self):
+        entry = {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppressed:
+            entry["justification"] = self.suppression_note
+        return entry

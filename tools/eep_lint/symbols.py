@@ -1,0 +1,286 @@
+"""Repo-wide symbol index and call graph.
+
+Function and method definitions are recovered from the sanitized token
+stream of every translation unit (the same lex the intraprocedural rules
+use): a qualified identifier followed by a balanced parameter list,
+optional cv/ref/noexcept/trailing-return/ctor-init-list qualifiers, and a
+brace-matched body. Call edges are resolved by short name, restricted by
+the module DAG recovered from src/*/CMakeLists.txt (a call in module M may
+only bind to definitions in M's transitive link closure), which is the
+same visibility the linker enforces.
+"""
+import re
+
+from lexing import match_brace
+
+CPP_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "alignof", "alignas", "decltype", "static_assert",
+    "typeid", "co_await", "co_return", "co_yield", "assert", "defined",
+    "noexcept", "operator", "else", "do", "case", "default", "using",
+    "namespace", "template", "typename", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "auto", "const", "constexpr",
+    "static", "int", "double", "float", "bool", "void", "char", "long",
+    "short", "unsigned", "signed", "size_t", "true", "false", "nullptr",
+    "this", "std", "break", "continue", "struct", "class", "enum", "union",
+}
+
+# Qualifiers that may sit between a parameter list and the function body.
+TRAILING_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable",
+                       "constexpr", "inline", "try"}
+
+DEF_NAME_RE = re.compile(
+    r"(~?[A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+
+CALL_RE = re.compile(
+    r"(?:(\.|->|::)\s*)?([A-Za-z_]\w*)\s*\(")
+
+
+class FunctionDef:
+    def __init__(self, ctx, qual, params, ret_type, start_pos, body,
+                 body_offset):
+        self.ctx = ctx
+        self.qual = qual                       # name as written (may be A::B)
+        self.name = qual.split("::")[-1].strip()
+        self.params = params                   # list of (type_text, name)
+        self.ret_type = ret_type
+        self.start_line = ctx.line_at(start_pos)
+        self.body = body
+        self.body_offset = body_offset
+        self.rel = ctx.rel
+        self.module = ctx.module()
+        self.top = ctx.top_dir()
+        self.calls = []                        # (callee FunctionDef, pos)
+
+    def node_id(self):
+        return f"{self.rel.replace(chr(92), '/')}:{self.qual}"
+
+    def __repr__(self):
+        return f"<fn {self.node_id()}@{self.start_line}>"
+
+
+def _split_top_level(text, sep=","):
+    """Split `text` on `sep` at zero bracket depth."""
+    parts = []
+    depth = 0
+    last = 0
+    for i, c in enumerate(text):
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth = max(0, depth - 1)
+        elif c == sep and depth == 0:
+            parts.append(text[last:i])
+            last = i + 1
+    parts.append(text[last:])
+    return parts
+
+
+def _parse_params(param_text):
+    params = []
+    stripped = param_text.strip()
+    if not stripped or stripped == "void":
+        return params
+    for part in _split_top_level(stripped):
+        part = part.strip()
+        if not part or part == "...":
+            continue
+        # Drop a default argument, then take the last identifier as the
+        # parameter name and everything before it as the type text.
+        part = _split_top_level(part, "=")[0].rstrip()
+        m = re.search(r"([A-Za-z_]\w*)\s*(?:\[\s*\])?$", part)
+        if m and part[:m.start()].strip():
+            params.append((part[:m.start()].strip(), m.group(1)))
+        else:
+            params.append((part, ""))
+    return params
+
+
+def _skip_to_body(code, pos):
+    """From just past the parameter list ')': skip qualifiers, a trailing
+    return type, and a constructor init list. Returns the position of the
+    body '{', or -1 when this is a declaration or not a function at all."""
+    n = len(code)
+    i = pos
+    while i < n:
+        while i < n and code[i].isspace():
+            i += 1
+        if i >= n:
+            return -1
+        c = code[i]
+        if c == "{":
+            return i
+        if c == ";":
+            return -1
+        if c == "-" and i + 1 < n and code[i + 1] == ">":
+            # Trailing return type: skip tokens until '{' or ';' at depth 0.
+            i += 2
+            depth = 0
+            while i < n:
+                if code[i] in "(<[":
+                    depth += 1
+                elif code[i] in ")>]":
+                    depth -= 1
+                elif depth <= 0 and code[i] == "{":
+                    return i
+                elif depth <= 0 and code[i] == ";":
+                    return -1
+                i += 1
+            return -1
+        if c == ":":
+            # Constructor init list: comma-separated `name(...)` / `name{...}`
+            # groups, then the body brace.
+            i += 1
+            while i < n:
+                while i < n and (code[i].isspace() or code[i] == ","):
+                    i += 1
+                m = re.match(r"[A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*"
+                             r"(?:\s*<)?", code[i:])
+                if not m:
+                    return -1
+                i += m.end()
+                if m.group(0).rstrip().endswith("<"):
+                    depth = 1
+                    while i < n and depth:
+                        if code[i] == "<":
+                            depth += 1
+                        elif code[i] == ">":
+                            depth -= 1
+                        i += 1
+                while i < n and code[i].isspace():
+                    i += 1
+                if i < n and code[i] in "({":
+                    i = match_brace(code, i)
+                else:
+                    return -1
+                while i < n and code[i].isspace():
+                    i += 1
+                if i < n and code[i] == "{":
+                    return i
+                if i < n and code[i] != ",":
+                    return -1
+            return -1
+        if c == "(":  # noexcept(...) and friends
+            i = match_brace(code, i)
+            continue
+        m = re.match(r"[A-Za-z_]\w*", code[i:])
+        if m and m.group(0) in TRAILING_QUALIFIERS:
+            i += m.end()
+            continue
+        return -1
+    return -1
+
+
+def _ret_type_before(code, name_start):
+    """Text between the previous statement boundary and the definition name
+    — enough to detect source-typed returns; not a full type parser."""
+    lo = max(0, name_start - 200)
+    segment = code[lo:name_start]
+    for boundary in (";", "}", "{"):
+        cut = segment.rfind(boundary)
+        if cut != -1:
+            segment = segment[cut + 1:]
+    segment = re.sub(r"\b(?:public|private|protected)\s*:", " ", segment)
+    return " ".join(segment.split())
+
+
+def index_file(ctx):
+    """All function/method definitions in ctx, recovered lexically."""
+    code = ctx.code
+    defs = []
+    pos = 0
+    n = len(code)
+    while pos < n:
+        m = DEF_NAME_RE.search(code, pos)
+        if not m:
+            break
+        name = m.group(1)
+        short = name.split("::")[-1].strip().lstrip("~")
+        open_paren = m.end() - 1
+        # A method CALL has `.` or `->` before the name; a definition not.
+        k = m.start() - 1
+        while k >= 0 and code[k].isspace():
+            k -= 1
+        preceded_by_access = k >= 0 and (
+            code[k] == "." or (code[k] == ">" and k >= 1 and
+                               code[k - 1] == "-"))
+        if (short in CPP_KEYWORDS or short.isupper() or preceded_by_access
+                or not short):
+            pos = m.end()
+            continue
+        params_end = match_brace(code, open_paren)
+        if params_end > n or code[params_end - 1] != ")":
+            pos = m.end()
+            continue
+        body_open = _skip_to_body(code, params_end)
+        if body_open == -1:
+            pos = m.end()
+            continue
+        body_end = match_brace(code, body_open)
+        defs.append(FunctionDef(
+            ctx=ctx, qual=re.sub(r"\s+", "", name),
+            params=_parse_params(code[open_paren + 1:params_end - 1]),
+            ret_type=_ret_type_before(code, m.start()),
+            start_pos=m.start(),
+            body=code[body_open + 1:body_end - 1],
+            body_offset=body_open + 1))
+        pos = body_end
+    return defs
+
+
+class SymbolIndex:
+    """Definitions across the tree plus module-DAG-aware call resolution."""
+
+    def __init__(self, ctxs, closure):
+        self.closure = closure
+        self.functions = []
+        self.by_name = {}
+        for ctx in ctxs:
+            for fn in index_file(ctx):
+                self.functions.append(fn)
+                self.by_name.setdefault(fn.name, []).append(fn)
+        self.callers = {}   # FunctionDef -> [(caller, callsite_pos)]
+        self._resolve_calls()
+
+    def _visible(self, caller, callee):
+        if caller.rel == callee.rel:
+            return True
+        if caller.module is not None:
+            if callee.module is None:
+                return False
+            return (callee.module == caller.module or
+                    callee.module in self.closure.get(caller.module, set()))
+        # tests/bench/examples see every src module and their own top dir.
+        return callee.module is not None or callee.top == caller.top
+
+    def _resolve_calls(self):
+        for fn in self.functions:
+            seen = set()
+            for m in CALL_RE.finditer(fn.body):
+                short = m.group(2)
+                if short in CPP_KEYWORDS or short not in self.by_name:
+                    continue
+                # Absolute position: charge-ordering checks compare callsite
+                # positions against charge sites in the caller's file.
+                pos = fn.body_offset + m.start()
+                for target in self.by_name[short]:
+                    if target is fn or not self._visible(fn, target):
+                        continue
+                    fn.calls.append((target, pos))
+                    if (target.node_id(), pos) not in seen:
+                        seen.add((target.node_id(), pos))
+                        self.callers.setdefault(target, []).append((fn, pos))
+
+    def to_dot(self):
+        """Deterministic Graphviz rendering: sorted nodes, sorted edges."""
+        nodes = sorted({fn.node_id() for fn in self.functions})
+        edges = sorted({(fn.node_id(), callee.node_id())
+                        for fn in self.functions
+                        for callee, _pos in fn.calls})
+        out = ["digraph eep_callgraph {"]
+        for node in nodes:
+            out.append(f'  "{node}";')
+        for src, dst in edges:
+            out.append(f'  "{src}" -> "{dst}";')
+        out.append("}")
+        return "\n".join(out) + "\n"

@@ -3,10 +3,21 @@
 # clang-tidy (when installed) over the tree, using the compilation database
 # exported by CMake. Configures a build dir first if none exists.
 #
-# Usage: tools/run_lint.sh [build-dir]   (default: build)
+# The interprocedural flow pass (raw-count-egress / unaccounted-release)
+# runs by default; --fast skips it for quick intraprocedural-only edits.
+# Findings are also written to $BUILD/lint_findings.json (CI uploads it).
+#
+# Usage: tools/run_lint.sh [--fast] [build-dir]   (default: build)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+LINT="$ROOT/tools/eep_lint"
+
+FAST_FLAG=""
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST_FLAG="--fast"
+  shift
+fi
 BUILD="${1:-$ROOT/build}"
 
 if [[ ! -f "$BUILD/compile_commands.json" ]]; then
@@ -15,10 +26,11 @@ if [[ ! -f "$BUILD/compile_commands.json" ]]; then
 fi
 
 echo "== eep_lint: fixture self-test =="
-python3 "$ROOT/tools/eep_lint.py" --fixtures "$ROOT/tests/lint_fixtures"
+python3 "$LINT" --fixtures "$ROOT/tests/lint_fixtures"
 
-echo "== eep_lint: full tree =="
-python3 "$ROOT/tools/eep_lint.py" --root "$ROOT" -p "$BUILD"
+echo "== eep_lint: full tree${FAST_FLAG:+ ($FAST_FLAG)} =="
+python3 "$LINT" --root "$ROOT" -p "$BUILD" $FAST_FLAG --timing \
+  --json "$BUILD/lint_findings.json"
 
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "== clang-tidy ($(clang-tidy --version | head -1)) =="
