@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace eep {
+namespace {
+
+// Four 256-entry tables for slicing-by-4, generated once at startup from
+// the reflected Castagnoli polynomial. Table generation is a pure integer
+// function, so the tables are identical on every host.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& tab = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tab[3][crc & 0xFFu] ^ tab[2][(crc >> 8) & 0xFFu] ^
+          tab[1][(crc >> 16) & 0xFFu] ^ tab[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace eep

@@ -1,8 +1,9 @@
 #include "common/csv.h"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "common/file.h"
 
 namespace eep {
 
@@ -92,8 +93,12 @@ std::vector<std::string> CsvParseLine(const std::string& line) {
 }
 
 Result<CsvDocument> ReadCsvFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+  // The whole file goes through the Status-returning file layer so open
+  // and read failures surface with path + errno instead of an empty
+  // document (the old ifstream path never checked the stream state).
+  EEP_ASSIGN_OR_RETURN(std::string content,
+                       Env::Default()->ReadFileToString(path));
+  std::istringstream in(std::move(content));
   CsvDocument doc;
   std::string line;
   bool first = true;
@@ -113,11 +118,30 @@ Result<CsvDocument> ReadCsvFile(const std::string& path) {
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::string>& header,
                     const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  CsvWriter writer(&out);
+  // Serialize in memory, then write through the file layer: every short
+  // write or sync failure is an IOError (with path + errno or the injected
+  // failpoint message), and the byte count is verified before returning OK
+  // so a torn CSV can never be reported as a successful write.
+  std::ostringstream buffer;
+  CsvWriter writer(&buffer);
   EEP_RETURN_NOT_OK(writer.WriteHeader(header));
   for (const auto& row : rows) EEP_RETURN_NOT_OK(writer.WriteRow(row));
+  const std::string content = buffer.str();
+
+  Env* env = Env::Default();
+  EEP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env->NewWritableFile(path));
+  EEP_RETURN_NOT_OK(file->Append(content));
+  EEP_RETURN_NOT_OK(file->Sync());
+  EEP_RETURN_NOT_OK(file->Close());
+  // Flush-then-verify: the durable size must match what we serialized.
+  EEP_ASSIGN_OR_RETURN(uint64_t on_disk, env->FileSize(path));
+  if (on_disk != content.size()) {
+    return Status::IOError("short CSV write '" + path + "': " +
+                           std::to_string(on_disk) + " of " +
+                           std::to_string(content.size()) +
+                           " bytes reached disk");
+  }
   return Status::OK();
 }
 

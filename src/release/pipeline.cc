@@ -9,6 +9,7 @@
 
 #include "common/csv.h"
 #include "common/math_util.h"
+#include "store/store.h"
 
 namespace eep::release {
 
@@ -338,10 +339,48 @@ Result<std::vector<ReleasedTable>> RunReleaseWorkload(
                           &format_ns));
     tables.push_back(std::move(table));
   }
+
+  // Optional persist step: the finished tables become one new store epoch,
+  // committed atomically AFTER all noise is drawn — so persisting cannot
+  // perturb the determinism contract above, and a crash mid-persist leaves
+  // the store serving its previous epoch (store/store.h).
+  double persist_ms = 0.0;
+  uint64_t persisted_epoch = 0;
+  if (config.persist_to != nullptr) {
+    const auto persist_start = std::chrono::steady_clock::now();
+    std::vector<store::TableData> to_persist;
+    to_persist.reserve(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      store::TableData persisted;
+      // Index-prefixed names stay unique even if two marginals share a
+      // column list; the attribute columns (the header minus the trailing
+      // "count") keep them human-readable.
+      persisted.name = "m" + std::to_string(i);
+      const std::vector<std::string>& columns = tables[i].header;
+      for (size_t c = 0; c + 1 < columns.size(); ++c) {
+        persisted.name += (c == 0 ? ":" : ",");
+        persisted.name += columns[c];
+      }
+      persisted.header = tables[i].header;
+      persisted.rows = tables[i].rows;
+      to_persist.push_back(std::move(persisted));
+    }
+    const std::string fingerprint = store::WorkloadFingerprint(
+        config.workload, eval::MechanismKindName(config.mechanism),
+        config.alpha, config.epsilon, config.delta);
+    EEP_ASSIGN_OR_RETURN(persisted_epoch, config.persist_to->CommitEpoch(
+                                              fingerprint, to_persist));
+    persist_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - persist_start)
+                     .count();
+  }
+
   if (stats != nullptr) {
     stats->compute = std::move(compute_stats);
     stats->noise_ms = static_cast<double>(noise_ns) * 1e-6;
     stats->format_ms = static_cast<double>(format_ns) * 1e-6;
+    stats->persist_ms = persist_ms;
+    stats->persisted_epoch = persisted_epoch;
   }
   return tables;
 }

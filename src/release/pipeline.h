@@ -11,6 +11,7 @@
 #ifndef EEP_RELEASE_PIPELINE_H_
 #define EEP_RELEASE_PIPELINE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "lodes/workload.h"
 #include "privacy/accountant.h"
 #include "table/group_by_cache.h"
+
+namespace eep::store {
+class Store;
+}  // namespace eep::store
 
 namespace eep::release {
 
@@ -97,6 +102,15 @@ struct WorkloadReleaseConfig {
   /// released tables, the shard size is part of the noise derivation.
   int num_threads = 1;
   int shard_size = 1024;
+  /// When non-null, the released tables are persisted as one new epoch of
+  /// this store AFTER the last marginal is noised: every table written,
+  /// checksummed and fsynced, then committed atomically (store/store.h's
+  /// commit protocol) under the workload's WorkloadFingerprint. A persist
+  /// failure fails the release call — but the accountant charge stands
+  /// (noise was drawn) and a reopened store still serves its previous
+  /// epoch. Persisting never touches the noise derivation: the released
+  /// tables are bit-identical with or without a store attached.
+  store::Store* persist_to = nullptr;
 };
 
 /// \brief Phase breakdown of one RunReleaseWorkload call. `compute`
@@ -108,6 +122,10 @@ struct WorkloadReleaseStats {
   /// workers and marginals (same convention as ReleaseStats).
   double noise_ms = 0.0;
   double format_ms = 0.0;
+  /// Wall time of the optional persist step (0 when no store is attached).
+  double persist_ms = 0.0;
+  /// Epoch id the persist step committed (0 when no store is attached).
+  uint64_t persisted_epoch = 0;
 };
 
 /// Releases every marginal of a workload from ONE shared scan: the fused

@@ -1,0 +1,602 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
+namespace eep::store {
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestTmpName[] = "MANIFEST.tmp";
+constexpr char kManifestMagic[] = "EEPMAN1";
+constexpr char kSegmentMagic[] = "EEPSEG1";
+constexpr char kEpochTag[] = "EPOCH";
+/// Column chunks target this payload size so block checksums localize
+/// corruption and no single frame grows unboundedly.
+constexpr size_t kColumnChunkBytes = 256 * 1024;
+
+// ---------------------------------------------------------------------------
+// Little-endian primitive + length-prefixed coding.
+// ---------------------------------------------------------------------------
+
+void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFFu);
+  buf[1] = static_cast<char>((v >> 8) & 0xFFu);
+  buf[2] = static_cast<char>((v >> 16) & 0xFFu);
+  buf[3] = static_cast<char>((v >> 24) & 0xFFu);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  PutFixed32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutFixed32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  return static_cast<uint64_t>(DecodeFixed32(p)) |
+         (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// \brief Bounds-checked cursor over one decoded payload.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  Status GetFixed32(uint32_t* v) {
+    EEP_RETURN_NOT_OK(Need(4));
+    *v = DecodeFixed32(data_.data() + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status GetFixed64(uint64_t* v) {
+    EEP_RETURN_NOT_OK(Need(8));
+    *v = DecodeFixed64(data_.data() + pos_);
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status GetLengthPrefixed(std::string* s) {
+    uint32_t n = 0;
+    EEP_RETURN_NOT_OK(GetFixed32(&n));
+    EEP_RETURN_NOT_OK(Need(n));
+    s->assign(data_, pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status ExpectTag(const char* tag) {
+    std::string got;
+    EEP_RETURN_NOT_OK(GetLengthPrefixed(&got));
+    if (got != tag) {
+      return Status::IOError(context_ + ": expected tag '" +
+                             std::string(tag) + "', found '" + got + "'");
+    }
+    return Status::OK();
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      return Status::IOError(context_ + ": payload truncated at offset " +
+                             std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  const std::string& data_;
+  std::string context_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Frames: [u32 payload_len][u32 masked crc32c(payload)][payload].
+// ---------------------------------------------------------------------------
+
+constexpr size_t kFrameHeaderBytes = 8;
+
+std::string Frame(const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&out, Crc32cMask(Crc32c(payload)));
+  out.append(payload);
+  return out;
+}
+
+/// Decodes the frame at *pos, advancing it. A frame extending past the
+/// end of `data` or failing its checksum is an IOError — callers decide
+/// whether that means corruption (manifest, committed segments) or is
+/// impossible by protocol.
+Status ReadFrame(const std::string& data, size_t* pos, std::string* payload,
+                 const std::string& context) {
+  if (*pos + kFrameHeaderBytes > data.size()) {
+    return Status::IOError(context + ": truncated frame header at offset " +
+                           std::to_string(*pos));
+  }
+  const uint32_t len = DecodeFixed32(data.data() + *pos);
+  const uint32_t want_crc = Crc32cUnmask(DecodeFixed32(data.data() + *pos + 4));
+  if (*pos + kFrameHeaderBytes + len > data.size()) {
+    return Status::IOError(context + ": frame at offset " +
+                           std::to_string(*pos) + " claims " +
+                           std::to_string(len) +
+                           " payload bytes past end of data");
+  }
+  payload->assign(data, *pos + kFrameHeaderBytes, len);
+  const uint32_t got_crc = Crc32c(*payload);
+  if (got_crc != want_crc) {
+    return Status::IOError(context + ": checksum mismatch in frame at offset " +
+                           std::to_string(*pos));
+  }
+  *pos += kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+std::string FormatDoubleKey(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string SegmentFileName(uint64_t epoch, size_t table_index) {
+  return "ep" + std::to_string(epoch) + "-t" +
+         std::to_string(table_index) + ".seg";
+}
+
+}  // namespace
+
+std::string WorkloadFingerprint(const lodes::WorkloadSpec& workload,
+                                const std::string& mechanism_name,
+                                double alpha, double epsilon, double delta) {
+  std::string fp = "workload[";
+  for (size_t i = 0; i < workload.marginals.size(); ++i) {
+    if (i > 0) fp += ";";
+    const auto columns = workload.marginals[i].AllColumns();
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) fp += ",";
+      fp += columns[c];
+    }
+  }
+  fp += "]|mech=" + mechanism_name;
+  fp += "|alpha=" + FormatDoubleKey(alpha);
+  fp += "|eps=" + FormatDoubleKey(epsilon);
+  fp += "|delta=" + FormatDoubleKey(delta);
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// Open / recovery.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Store>> Store::Open(const std::string& dir) {
+  std::unique_ptr<Store> st(new Store(dir));
+  EEP_RETURN_NOT_OK(st->Recover());
+  return st;
+}
+
+Status Store::Recover() {
+  Env* env = Env::Default();
+  EEP_RETURN_NOT_OK(env->CreateDirIfMissing(dir_));
+
+  // 1. The torn tail of an interrupted commit: a MANIFEST.tmp that never
+  //    reached its rename is dead weight, never state.
+  const std::string tmp_path = dir_ + "/" + kManifestTmpName;
+  EEP_ASSIGN_OR_RETURN(bool has_tmp, env->FileExists(tmp_path));
+  if (has_tmp) EEP_RETURN_NOT_OK(env->RemoveFile(tmp_path));
+
+  // 2. The manifest. Absent -> a fresh store. Present -> it went through
+  //    the atomic swap, so EVERY record must validate; a torn or
+  //    checksum-failing record here is corruption, not a crash artifact,
+  //    and recovery refuses rather than guess.
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  EEP_ASSIGN_OR_RETURN(bool has_manifest, env->FileExists(manifest_path));
+  if (!has_manifest) {
+    std::string header;
+    PutLengthPrefixed(&header, kManifestMagic);
+    manifest_image_ = Frame(header);
+  } else {
+    EEP_ASSIGN_OR_RETURN(std::string image,
+                         env->ReadFileToString(manifest_path));
+    size_t pos = 0;
+    std::string payload;
+    EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
+    {
+      PayloadReader reader(payload, "MANIFEST header");
+      EEP_RETURN_NOT_OK(reader.ExpectTag(kManifestMagic));
+    }
+    while (pos < image.size()) {
+      EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
+      PayloadReader reader(payload, "MANIFEST record");
+      EEP_RETURN_NOT_OK(reader.ExpectTag(kEpochTag));
+      EpochInfo info;
+      EEP_RETURN_NOT_OK(reader.GetFixed64(&info.epoch));
+      EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&info.fingerprint));
+      uint32_t num_tables = 0;
+      EEP_RETURN_NOT_OK(reader.GetFixed32(&num_tables));
+      for (uint32_t t = 0; t < num_tables; ++t) {
+        TableMeta meta;
+        EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.name));
+        EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.segment_file));
+        EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.size_bytes));
+        EEP_RETURN_NOT_OK(reader.GetFixed32(&meta.crc32c));
+        EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.num_rows));
+        info.tables.push_back(std::move(meta));
+      }
+      if (!reader.AtEnd()) {
+        return Status::IOError("MANIFEST record for epoch " +
+                               std::to_string(info.epoch) +
+                               " carries trailing bytes");
+      }
+      if (info.epoch <= last_epoch_) {
+        return Status::IOError("MANIFEST epochs not strictly increasing at " +
+                               std::to_string(info.epoch));
+      }
+      last_epoch_ = info.epoch;
+      epochs_[info.epoch] = std::move(info);
+    }
+    manifest_image_ = std::move(image);
+  }
+
+  // 3. Committed segments must exist at their recorded size (their CRCs
+  //    are verified on every read). The fsync-before-rename ordering
+  //    makes a violation corruption, not a crash artifact.
+  for (const auto& [epoch, info] : epochs_) {
+    (void)epoch;
+    for (const TableMeta& meta : info.tables) {
+      const std::string path = dir_ + "/" + meta.segment_file;
+      EEP_ASSIGN_OR_RETURN(bool exists, env->FileExists(path));
+      if (!exists) {
+        return Status::IOError("committed segment missing: " + path);
+      }
+      EEP_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+      if (size != meta.size_bytes) {
+        return Status::IOError(
+            "committed segment '" + path + "' is " + std::to_string(size) +
+            " bytes, manifest records " + std::to_string(meta.size_bytes));
+      }
+    }
+  }
+
+  // 4. Remove orphans: segments written by a commit that never reached
+  //    its rename, stray temp files. Never files the manifest references.
+  std::vector<std::string> referenced;
+  for (const auto& [epoch, info] : epochs_) {
+    (void)epoch;
+    for (const TableMeta& meta : info.tables) {
+      referenced.push_back(meta.segment_file);
+    }
+  }
+  std::sort(referenced.begin(), referenced.end());
+  EEP_ASSIGN_OR_RETURN(std::vector<std::string> entries, env->ListDir(dir_));
+  for (const std::string& entry : entries) {
+    if (entry == kManifestName) continue;
+    const bool is_segment =
+        entry.size() > 4 && entry.compare(entry.size() - 4, 4, ".seg") == 0;
+    const bool is_tmp =
+        entry.size() > 4 && entry.compare(entry.size() - 4, 4, ".tmp") == 0;
+    if (!is_segment && !is_tmp) continue;
+    if (std::binary_search(referenced.begin(), referenced.end(), entry)) {
+      continue;
+    }
+    EEP_RETURN_NOT_OK(env->RemoveFile(dir_ + "/" + entry));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commit.
+// ---------------------------------------------------------------------------
+
+Status Store::WriteSegment(const std::string& file, const TableData& table,
+                           TableMeta* meta) const {
+  Env* env = Env::Default();
+  const std::string path = dir_ + "/" + file;
+  EEP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                       env->NewWritableFile(path));
+  uint32_t file_crc = 0;
+
+  const auto append_block = [&](const std::string& payload) -> Status {
+    EEP_FAILPOINT("store/segment-write");
+    const std::string frame = Frame(payload);
+    EEP_RETURN_NOT_OK(out->Append(frame));
+    file_crc = Crc32cExtend(file_crc, frame.data(), frame.size());
+    return Status::OK();
+  };
+
+  // Header block: magic, table name, column names, row count.
+  std::string header;
+  PutLengthPrefixed(&header, kSegmentMagic);
+  PutLengthPrefixed(&header, table.name);
+  PutFixed32(&header, static_cast<uint32_t>(table.header.size()));
+  for (const std::string& column : table.header) {
+    PutLengthPrefixed(&header, column);
+  }
+  PutFixed64(&header, table.rows.size());
+  EEP_RETURN_NOT_OK(append_block(header));
+
+  // Column chunks, column-major: [col index][first row][n rows][values].
+  for (size_t col = 0; col < table.header.size(); ++col) {
+    size_t row = 0;
+    while (row < table.rows.size()) {
+      std::string chunk;
+      PutFixed32(&chunk, static_cast<uint32_t>(col));
+      PutFixed64(&chunk, row);
+      const size_t chunk_rows_pos = chunk.size();
+      PutFixed32(&chunk, 0);  // patched below
+      uint32_t rows_in_chunk = 0;
+      while (row < table.rows.size() && chunk.size() < kColumnChunkBytes) {
+        PutLengthPrefixed(&chunk, table.rows[row][col]);
+        ++rows_in_chunk;
+        ++row;
+      }
+      const std::string patched = [&] {
+        std::string p;
+        PutFixed32(&p, rows_in_chunk);
+        return p;
+      }();
+      chunk.replace(chunk_rows_pos, 4, patched);
+      EEP_RETURN_NOT_OK(append_block(chunk));
+    }
+  }
+
+  EEP_FAILPOINT("store/segment-sync");
+  EEP_RETURN_NOT_OK(out->Sync());
+  EEP_RETURN_NOT_OK(out->Close());
+
+  meta->name = table.name;
+  meta->segment_file = file;
+  meta->size_bytes = out->bytes_written();
+  meta->crc32c = file_crc;
+  meta->num_rows = table.rows.size();
+  return Status::OK();
+}
+
+Status Store::CommitManifest(const std::string& appended_record,
+                             bool* renamed) {
+  Env* env = Env::Default();
+  const std::string tmp_path = dir_ + "/" + kManifestTmpName;
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  std::string image = manifest_image_;
+  image += Frame(appended_record);
+
+  {
+    EEP_FAILPOINT("store/wal-append");
+    EEP_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> out,
+                         env->NewWritableFile(tmp_path));
+    EEP_RETURN_NOT_OK(out->Append(image));
+    EEP_FAILPOINT("store/wal-sync");
+    EEP_RETURN_NOT_OK(out->Sync());
+    EEP_RETURN_NOT_OK(out->Close());
+  }
+  // The commit point: on POSIX the rename atomically replaces MANIFEST,
+  // so a crash on either side leaves exactly one complete manifest.
+  EEP_FAILPOINT("store/wal-rename");
+  EEP_RETURN_NOT_OK(env->RenameFile(tmp_path, manifest_path));
+  *renamed = true;
+  EEP_RETURN_NOT_OK(env->SyncDir(dir_));
+  manifest_image_ = std::move(image);
+  return Status::OK();
+}
+
+Result<uint64_t> Store::CommitEpoch(const std::string& fingerprint,
+                                    const std::vector<TableData>& tables) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("CommitEpoch: empty table set");
+  }
+  std::vector<std::string> names;
+  for (const TableData& table : tables) {
+    names.push_back(table.name);
+    for (const auto& row : table.rows) {
+      if (row.size() != table.header.size()) {
+        return Status::InvalidArgument(
+            "CommitEpoch: row arity mismatch in table '" + table.name + "'");
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  if (std::adjacent_find(names.begin(), names.end()) != names.end()) {
+    return Status::InvalidArgument("CommitEpoch: duplicate table name");
+  }
+
+  const uint64_t epoch = last_epoch_ + 1;
+  EpochInfo info;
+  info.epoch = epoch;
+  info.fingerprint = fingerprint;
+
+  // Step 1: segments, each fully durable before the manifest names it.
+  Status failed = Status::OK();
+  bool renamed = false;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    TableMeta meta;
+    failed = WriteSegment(SegmentFileName(epoch, t), tables[t], &meta);
+    if (!failed.ok()) break;
+    info.tables.push_back(std::move(meta));
+  }
+  if (failed.ok()) {
+    // Steps 2-3: append the epoch record to the manifest image and swap
+    // it in atomically.
+    std::string record;
+    PutLengthPrefixed(&record, kEpochTag);
+    PutFixed64(&record, epoch);
+    PutLengthPrefixed(&record, fingerprint);
+    PutFixed32(&record, static_cast<uint32_t>(info.tables.size()));
+    for (const TableMeta& meta : info.tables) {
+      PutLengthPrefixed(&record, meta.name);
+      PutLengthPrefixed(&record, meta.segment_file);
+      PutFixed64(&record, meta.size_bytes);
+      PutFixed32(&record, meta.crc32c);
+      PutFixed64(&record, meta.num_rows);
+    }
+    failed = CommitManifest(record, &renamed);
+  }
+  if (!failed.ok()) {
+    // Past the rename the epoch IS committed on disk (a reopen serves it)
+    // even though this call reports failure — the segments are referenced
+    // by the manifest now and must NOT be removed. Before the rename the
+    // segments are orphans: best-effort cleanup here; under an injected
+    // crash these removals fail too, and Store::Open's recovery removes
+    // the orphans instead.
+    if (!renamed) {
+      for (size_t t = 0; t < tables.size(); ++t) {
+        const std::string path = dir_ + "/" + SegmentFileName(epoch, t);
+        auto exists = Env::Default()->FileExists(path);
+        if (exists.ok() && exists.value()) {
+          (void)Env::Default()->RemoveFile(path).ok();
+        }
+      }
+    }
+    return failed;
+  }
+
+  last_epoch_ = epoch;
+  epochs_[epoch] = std::move(info);
+  return epoch;
+}
+
+// ---------------------------------------------------------------------------
+// Reads.
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> Store::Epochs() const {
+  std::vector<uint64_t> out;
+  out.reserve(epochs_.size());
+  for (const auto& [epoch, info] : epochs_) {
+    (void)info;
+    out.push_back(epoch);
+  }
+  return out;
+}
+
+Result<const EpochInfo*> Store::GetEpoch(uint64_t epoch) const {
+  auto it = epochs_.find(epoch);
+  if (it == epochs_.end()) {
+    return Status::NotFound("no committed epoch " + std::to_string(epoch));
+  }
+  return &it->second;
+}
+
+Result<const EpochInfo*> Store::CurrentEpoch() const {
+  if (last_epoch_ == 0) return Status::NotFound("store has no epochs");
+  return GetEpoch(last_epoch_);
+}
+
+Result<TableData> Store::ReadTable(uint64_t epoch,
+                                   const std::string& name) const {
+  EEP_ASSIGN_OR_RETURN(const EpochInfo* info, GetEpoch(epoch));
+  const TableMeta* meta = nullptr;
+  for (const TableMeta& candidate : info->tables) {
+    if (candidate.name == name) {
+      meta = &candidate;
+      break;
+    }
+  }
+  if (meta == nullptr) {
+    return Status::NotFound("epoch " + std::to_string(epoch) +
+                            " has no table '" + name + "'");
+  }
+
+  const std::string path = dir_ + "/" + meta->segment_file;
+  EEP_ASSIGN_OR_RETURN(std::string data,
+                       Env::Default()->ReadFileToString(path));
+  if (data.size() != meta->size_bytes) {
+    return Status::IOError("segment '" + path + "' is " +
+                           std::to_string(data.size()) +
+                           " bytes, manifest records " +
+                           std::to_string(meta->size_bytes));
+  }
+  if (Crc32c(data) != meta->crc32c) {
+    return Status::IOError("segment '" + path +
+                           "' fails its manifest whole-file checksum");
+  }
+
+  size_t pos = 0;
+  std::string payload;
+  EEP_RETURN_NOT_OK(ReadFrame(data, &pos, &payload, path));
+  TableData table;
+  uint64_t num_rows = 0;
+  {
+    PayloadReader reader(payload, path + " header");
+    EEP_RETURN_NOT_OK(reader.ExpectTag(kSegmentMagic));
+    EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&table.name));
+    uint32_t num_columns = 0;
+    EEP_RETURN_NOT_OK(reader.GetFixed32(&num_columns));
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      std::string column;
+      EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&column));
+      table.header.push_back(std::move(column));
+    }
+    EEP_RETURN_NOT_OK(reader.GetFixed64(&num_rows));
+    if (!reader.AtEnd()) {
+      return Status::IOError(path + ": header block carries trailing bytes");
+    }
+  }
+  if (table.name != name) {
+    return Status::IOError("segment '" + path + "' holds table '" +
+                           table.name + "', manifest records '" + name + "'");
+  }
+  if (num_rows != meta->num_rows) {
+    return Status::IOError(path + ": header row count disagrees with manifest");
+  }
+
+  table.rows.assign(num_rows, std::vector<std::string>(table.header.size()));
+  std::vector<uint64_t> filled(table.header.size(), 0);
+  while (pos < data.size()) {
+    EEP_RETURN_NOT_OK(ReadFrame(data, &pos, &payload, path));
+    PayloadReader reader(payload, path + " column chunk");
+    uint32_t col = 0;
+    uint64_t first_row = 0;
+    uint32_t rows_in_chunk = 0;
+    EEP_RETURN_NOT_OK(reader.GetFixed32(&col));
+    EEP_RETURN_NOT_OK(reader.GetFixed64(&first_row));
+    EEP_RETURN_NOT_OK(reader.GetFixed32(&rows_in_chunk));
+    if (col >= table.header.size() || first_row != filled[col] ||
+        first_row + rows_in_chunk > num_rows) {
+      return Status::IOError(path + ": column chunk out of order or range");
+    }
+    for (uint32_t r = 0; r < rows_in_chunk; ++r) {
+      EEP_RETURN_NOT_OK(
+          reader.GetLengthPrefixed(&table.rows[first_row + r][col]));
+    }
+    if (!reader.AtEnd()) {
+      return Status::IOError(path + ": column chunk carries trailing bytes");
+    }
+    filled[col] += rows_in_chunk;
+  }
+  for (size_t c = 0; c < filled.size(); ++c) {
+    if (filled[c] != num_rows) {
+      return Status::IOError(path + ": column " + std::to_string(c) +
+                             " holds " + std::to_string(filled[c]) + " of " +
+                             std::to_string(num_rows) + " rows");
+    }
+  }
+  return table;
+}
+
+Result<std::vector<TableData>> Store::ReadEpoch(uint64_t epoch) const {
+  EEP_ASSIGN_OR_RETURN(const EpochInfo* info, GetEpoch(epoch));
+  std::vector<TableData> tables;
+  tables.reserve(info->tables.size());
+  for (const TableMeta& meta : info->tables) {
+    EEP_ASSIGN_OR_RETURN(TableData table, ReadTable(epoch, meta.name));
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+}  // namespace eep::store

@@ -1,0 +1,153 @@
+// Crash-safe embedded store for released tables: the persistence layer
+// under the serving front end (ROADMAP, "Persistent release store").
+//
+// On-disk layout (one directory per store):
+//
+//   ep<epoch>-t<k>.seg   one append-only columnar segment per table:
+//                        framed blocks [u32 len][u32 masked-crc32c][payload]
+//                        — a header block (table name, columns, row count)
+//                        followed by column chunks, column-major.
+//   MANIFEST             the write-ahead log of commits: one framed record
+//                        per epoch (epoch id, workload/spec fingerprint,
+//                        segment list with per-segment size + whole-file
+//                        CRC32C), plus a leading format record.
+//   MANIFEST.tmp         staging for the atomic manifest swap; never read,
+//                        removed at Open.
+//
+// Commit protocol for one epoch (CommitEpoch):
+//   1. write every segment file, block by block, and fsync each;
+//   2. append the epoch's record to the manifest image IN MEMORY, write
+//      the whole image to MANIFEST.tmp, fsync it;
+//   3. rename(MANIFEST.tmp -> MANIFEST) — the atomic commit point — and
+//      fsync the directory.
+// A crash anywhere before the rename leaves the previous MANIFEST intact;
+// the new segments are unreferenced orphans. A crash after the rename has
+// committed the epoch even if CommitEpoch never returned.
+//
+// Recovery invariant (Store::Open): the store always opens to the state
+// of the last committed epoch — orphan segments and MANIFEST.tmp (the
+// torn tail of an interrupted commit) are removed, every committed
+// segment must exist with its manifest size, and any checksum mismatch on
+// read surfaces as Status::IOError, never as silently wrong data. The
+// crash-matrix test (tests/store_crash_matrix_test.cc) proves this for
+// every registered failpoint site x hit count; the corruption sweep
+// proves the IOError half bit by bit.
+#ifndef EEP_STORE_STORE_H_
+#define EEP_STORE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/status.h"
+#include "lodes/workload.h"
+
+namespace eep::store {
+
+/// \brief One named string table, the unit the store persists — shaped
+/// like release::ReleasedTable (header + rows) plus a name that is unique
+/// within its epoch.
+struct TableData {
+  std::string name;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  bool operator==(const TableData& other) const {
+    return name == other.name && header == other.header &&
+           rows == other.rows;
+  }
+};
+
+/// \brief Manifest metadata of one persisted table.
+struct TableMeta {
+  std::string name;
+  std::string segment_file;  ///< Relative to the store directory.
+  uint64_t size_bytes = 0;   ///< Manifest-recorded segment size.
+  uint32_t crc32c = 0;       ///< CRC32C of the whole segment file.
+  uint64_t num_rows = 0;
+};
+
+/// \brief One committed epoch: a full set of tables that supersedes every
+/// earlier epoch for serving (earlier epochs stay readable as history).
+struct EpochInfo {
+  uint64_t epoch = 0;
+  /// Workload/spec fingerprint recorded at commit (WorkloadFingerprint
+  /// below for pipeline persists) — lets a reader check it is looking at
+  /// the release it expects before serving.
+  std::string fingerprint;
+  std::vector<TableMeta> tables;
+};
+
+/// \brief Deterministic fingerprint of what a persisted release answers:
+/// the workload's marginal columns plus the mechanism and privacy
+/// parameters. Pure function of its arguments (stable across runs,
+/// platforms and thread counts).
+std::string WorkloadFingerprint(const lodes::WorkloadSpec& workload,
+                                const std::string& mechanism_name,
+                                double alpha, double epsilon, double delta);
+
+/// \brief The embedded store. Not thread-safe for concurrent commits;
+/// concurrent readers of distinct Store instances over the same committed
+/// directory are fine (all reads are positional).
+class Store {
+ public:
+  /// Opens (creating the directory if needed) and RECOVERS: removes the
+  /// torn tail of any interrupted commit, strictly validates the
+  /// manifest (a manifest that survived the atomic swap can only fail
+  /// validation through corruption -> IOError), and checks every
+  /// committed segment is present with its recorded size.
+  static Result<std::unique_ptr<Store>> Open(const std::string& dir);
+
+  /// Persists `tables` as the next epoch via the commit protocol above.
+  /// Returns the committed epoch id. On error nothing is committed — a
+  /// reopened store serves the previous epoch (the failed epoch's
+  /// segments are cleaned up by recovery, or best-effort immediately) —
+  /// with one crash-semantics exception: a failure AFTER the rename
+  /// (directory sync) reports an error although the epoch is durably
+  /// committed, exactly like a crash there would. After any failed
+  /// commit this instance is stale; reopen the directory to continue.
+  Result<uint64_t> CommitEpoch(const std::string& fingerprint,
+                               const std::vector<TableData>& tables);
+
+  /// 0 when no epoch has been committed yet.
+  uint64_t last_committed_epoch() const { return last_epoch_; }
+  /// Committed epochs in increasing order.
+  std::vector<uint64_t> Epochs() const;
+  Result<const EpochInfo*> GetEpoch(uint64_t epoch) const;
+  /// Convenience: GetEpoch(last_committed_epoch()).
+  Result<const EpochInfo*> CurrentEpoch() const;
+
+  /// Reads one table back, verifying the manifest-recorded whole-file
+  /// CRC and every block checksum; bit-identical to what was committed or
+  /// Status::IOError — never silently wrong data.
+  Result<TableData> ReadTable(uint64_t epoch, const std::string& name) const;
+  /// Every table of `epoch`, in committed order.
+  Result<std::vector<TableData>> ReadEpoch(uint64_t epoch) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit Store(std::string dir) : dir_(std::move(dir)) {}
+
+  Status Recover();
+  Status WriteSegment(const std::string& file, const TableData& table,
+                      TableMeta* meta) const;
+  /// Sets *renamed once the atomic swap has happened, so the caller can
+  /// tell a pre-commit failure (clean up the orphans) from a post-commit
+  /// one (the epoch is on disk; leave it alone).
+  Status CommitManifest(const std::string& appended_record, bool* renamed);
+
+  std::string dir_;
+  /// The manifest image as last committed (header record + one record per
+  /// epoch); CommitEpoch extends it in memory and swaps it in atomically.
+  std::string manifest_image_;
+  std::map<uint64_t, EpochInfo> epochs_;
+  uint64_t last_epoch_ = 0;
+};
+
+}  // namespace eep::store
+
+#endif  // EEP_STORE_STORE_H_

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "lodes/generator.h"
 #include "lodes/marginal.h"
 
@@ -18,8 +19,12 @@ class IoTest : public ::testing::Test {
     dir_ = testing::TempDir() + "/eep_io_test";
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
+    FailpointRegistry::Instance().DisarmAll();
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
   std::string dir_;
 };
 
@@ -118,6 +123,37 @@ TEST_F(IoTest, LoadRejectsWrongHeader) {
   auto loaded = LoadDataset(dir_);
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The CSV layer routes through common/file.h (the raw-file-io lint rule
+// enforces it), so disk faults injected at the file layer's failpoints must
+// surface from SaveDataset as Status::IOError — not as a silently truncated
+// dataset on disk.
+TEST_F(IoTest, SaveSurfacesInjectedDiskFull) {
+  LodesDataset original = SmallData();
+  FailpointSpec spec;
+  spec.fault = FailpointFault::kError;
+  spec.hit = 3;
+  spec.message = "ENOSPC";
+  FailpointRegistry::Instance().Arm("file/append", spec);
+  Status save = SaveDataset(original, dir_);
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(save.code(), StatusCode::kIOError);
+  EXPECT_NE(save.ToString().find("ENOSPC"), std::string::npos);
+}
+
+TEST_F(IoTest, SaveSurfacesInjectedShortWrite) {
+  LodesDataset original = SmallData();
+  FailpointSpec spec;
+  spec.fault = FailpointFault::kShortWrite;
+  spec.partial_bytes = 5;
+  FailpointRegistry::Instance().Arm("file/append", spec);
+  Status save = SaveDataset(original, dir_);
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(save.code(), StatusCode::kIOError);
+  // The torn file never passes a reload: either the header is clipped
+  // (InvalidArgument) or rows are malformed — it cannot round trip.
+  EXPECT_FALSE(LoadDataset(dir_).ok());
 }
 
 TEST_F(IoTest, LoadRejectsNonIntegerId) {

@@ -1,0 +1,15 @@
+// The compliant twin of violate_raw_file_io.cc: the same dump routed
+// through the Status-returning file layer, plus a justified suppression
+// for I/O that genuinely must stay raw (a corruption-injection helper).
+#include <fstream>  // eep-lint: suppress(raw-file-io) -- fixture models a test-only corruption helper that must write torn bytes directly
+
+namespace fixture {
+
+template <typename Env, typename Status>
+Status DumpCounts(Env* env, const char* path, const double* values, int n) {
+  typename Env::String content;
+  for (int i = 0; i < n; ++i) content.Append(values[i]);
+  return env->WriteStringToFile(path, content, /*sync=*/true);
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Raw stream I/O in a src/ module outside common/: every failure mode
+// (open on a missing directory, a full disk mid-write, a failing close)
+// vanishes silently, and the failpoint harness cannot reach the write.
+#include <fstream>
+
+namespace fixture {
+
+void DumpCounts(const char* path, const double* values, int n) {
+  std::ofstream out(path);
+  for (int i = 0; i < n; ++i) out << values[i] << "\n";
+}
+
+}  // namespace fixture

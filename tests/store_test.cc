@@ -1,0 +1,236 @@
+// The crash-safe release store, happy paths: round trips, epoch
+// supersession, reopen after a clean close, validation errors. The crash
+// and corruption halves of the durability contract live in
+// store_crash_matrix_test.cc.
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/failpoint.h"
+
+namespace eep::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/eep_store_test";
+    std::filesystem::remove_all(dir_);
+    FailpointRegistry::Instance().DisarmAll();
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+TableData MakeTable(const std::string& name, int rows, int salt = 0) {
+  TableData table;
+  table.name = name;
+  table.header = {"place", "sector", "count"};
+  for (int r = 0; r < rows; ++r) {
+    table.rows.push_back({"place-" + std::to_string((r + salt) % 7),
+                          "s" + std::to_string(r % 3),
+                          std::to_string(r * 11 + salt)});
+  }
+  return table;
+}
+
+TEST_F(StoreTest, RoundTripSingleEpoch) {
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value()->last_committed_epoch(), 0u);
+  EXPECT_EQ(store.value()->CurrentEpoch().status().code(),
+            StatusCode::kNotFound);
+
+  const std::vector<TableData> tables = {MakeTable("alpha", 40),
+                                         MakeTable("beta", 3, 9)};
+  auto epoch = store.value()->CommitEpoch("fp-v1", tables);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch.value(), 1u);
+  EXPECT_EQ(store.value()->last_committed_epoch(), 1u);
+
+  auto info = store.value()->CurrentEpoch();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value()->fingerprint, "fp-v1");
+  ASSERT_EQ(info.value()->tables.size(), 2u);
+  EXPECT_EQ(info.value()->tables[0].name, "alpha");
+  EXPECT_EQ(info.value()->tables[0].num_rows, 40u);
+
+  auto read = store.value()->ReadEpoch(1);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read.value().size(), 2u);
+  EXPECT_TRUE(read.value()[0] == tables[0]);
+  EXPECT_TRUE(read.value()[1] == tables[1]);
+}
+
+TEST_F(StoreTest, RoundTripHostileStrings) {
+  // CSV-hostile and binary-hostile cell values: the framed columnar format
+  // is length-prefixed, so none of this needs escaping.
+  TableData table;
+  table.name = "hostile";
+  table.header = {"value", "count"};
+  table.rows = {{"comma,quote\"and\nnewline", "1"},
+                {std::string("embedded\0nul", 12), "2"},
+                {std::string(100000, '\xab'), "3"},
+                {"", ""}};
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp", {table}).ok());
+  auto read = store.value()->ReadTable(1, "hostile");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value() == table);
+}
+
+TEST_F(StoreTest, ZeroRowTableRoundTrips) {
+  TableData empty;
+  empty.name = "empty";
+  empty.header = {"a", "b"};
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp", {empty}).ok());
+  auto read = store.value()->ReadTable(1, "empty");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value() == empty);
+}
+
+TEST_F(StoreTest, LargeTableSpansMultipleChunks) {
+  // Column values sized so one column exceeds the 256 KiB chunk target and
+  // must split across several framed blocks.
+  TableData table;
+  table.name = "big";
+  table.header = {"blob", "count"};
+  for (int r = 0; r < 200; ++r) {
+    table.rows.push_back(
+        {std::string(4096, static_cast<char>('a' + r % 26)),
+         std::to_string(r)});
+  }
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp", {table}).ok());
+  auto reopened = Store::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto read = reopened.value()->ReadTable(1, "big");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value() == table);
+}
+
+TEST_F(StoreTest, EpochSupersession) {
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const std::vector<TableData> v1 = {MakeTable("t", 10, 1)};
+  const std::vector<TableData> v2 = {MakeTable("t", 12, 2),
+                                     MakeTable("extra", 4, 3)};
+  ASSERT_TRUE(store.value()->CommitEpoch("fp-1", v1).ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp-2", v2).ok());
+  EXPECT_EQ(store.value()->last_committed_epoch(), 2u);
+  EXPECT_EQ(store.value()->Epochs(), (std::vector<uint64_t>{1, 2}));
+
+  // The current epoch serves v2; epoch 1 stays readable as history.
+  auto current = store.value()->ReadEpoch(2);
+  ASSERT_TRUE(current.ok());
+  ASSERT_EQ(current.value().size(), 2u);
+  EXPECT_TRUE(current.value()[0] == v2[0]);
+  auto history = store.value()->ReadTable(1, "t");
+  ASSERT_TRUE(history.ok());
+  EXPECT_TRUE(history.value() == v1[0]);
+}
+
+TEST_F(StoreTest, ReopenAfterCleanClose) {
+  const std::vector<TableData> v1 = {MakeTable("t", 25)};
+  const std::vector<TableData> v2 = {MakeTable("t", 30, 5)};
+  {
+    auto store = Store::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->CommitEpoch("fp-1", v1).ok());
+    ASSERT_TRUE(store.value()->CommitEpoch("fp-2", v2).ok());
+  }
+  auto reopened = Store::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->last_committed_epoch(), 2u);
+  auto info = reopened.value()->CurrentEpoch();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value()->fingerprint, "fp-2");
+  auto read = reopened.value()->ReadEpoch(2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value()[0] == v2[0]);
+  EXPECT_TRUE(reopened.value()->ReadEpoch(1).value()[0] == v1[0]);
+  // And the reopened store keeps committing where the old one left off.
+  ASSERT_TRUE(reopened.value()->CommitEpoch("fp-3", v1).ok());
+  EXPECT_EQ(reopened.value()->last_committed_epoch(), 3u);
+}
+
+TEST_F(StoreTest, OrphanSegmentsRemovedAtOpen) {
+  {
+    auto store = Store::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->CommitEpoch("fp", {MakeTable("t", 5)}).ok());
+  }
+  // Plant the torn tail of an interrupted commit: orphan segments of a
+  // never-committed epoch 2 and a staging manifest.
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(dir_ + "/ep2-t0.seg", "garbage", false)
+                  .ok());
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(dir_ + "/MANIFEST.tmp", "torn", false)
+                  .ok());
+  auto reopened = Store::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->last_committed_epoch(), 1u);
+  EXPECT_FALSE(Env::Default()->FileExists(dir_ + "/ep2-t0.seg").value());
+  EXPECT_FALSE(Env::Default()->FileExists(dir_ + "/MANIFEST.tmp").value());
+  // The committed segment survived.
+  EXPECT_TRUE(reopened.value()->ReadTable(1, "t").ok());
+}
+
+TEST_F(StoreTest, CommitValidation) {
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->CommitEpoch("fp", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.value()
+                ->CommitEpoch("fp", {MakeTable("dup", 2), MakeTable("dup", 3)})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  TableData ragged = MakeTable("ragged", 3);
+  ragged.rows[1].pop_back();
+  EXPECT_EQ(store.value()->CommitEpoch("fp", {ragged}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Nothing was committed, and no stray files survive the failed attempts.
+  EXPECT_EQ(store.value()->last_committed_epoch(), 0u);
+  EXPECT_EQ(Env::Default()->ListDir(dir_).value().size(), 0u);
+}
+
+TEST_F(StoreTest, NotFoundLookups) {
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp", {MakeTable("t", 2)}).ok());
+  EXPECT_EQ(store.value()->GetEpoch(9).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.value()->ReadTable(1, "missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.value()->ReadTable(2, "t").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, WorkloadFingerprintIsStableAndDiscriminating) {
+  const auto workload = lodes::WorkloadSpec::PaperTabulations();
+  const std::string fp =
+      WorkloadFingerprint(workload, "smooth_laplace", 0.1, 2.0, 0.05);
+  EXPECT_EQ(fp,
+            WorkloadFingerprint(workload, "smooth_laplace", 0.1, 2.0, 0.05));
+  EXPECT_NE(fp,
+            WorkloadFingerprint(workload, "log_laplace", 0.1, 2.0, 0.05));
+  EXPECT_NE(fp,
+            WorkloadFingerprint(workload, "smooth_laplace", 0.1, 2.5, 0.05));
+  // The marginal column lists are embedded readably.
+  EXPECT_NE(fp.find("mech=smooth_laplace"), std::string::npos);
+  EXPECT_NE(fp.find("eps=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eep::store

@@ -120,6 +120,45 @@ def check_lint_rule_ids(root):
     return len(refs), broken
 
 
+# Failpoint sites as docs reference them: `failpoint:<site/name>`. The
+# durability section's inventory table uses inline code spans, so fenced
+# blocks are not skipped.
+FAILPOINT_REF_RE = re.compile(r"\bfailpoint:([a-z0-9/_-]+)")
+# One `{"site/name", bool},` entry per line inside kFailpointInventory —
+# failpoint.cc's comment pins that layout for this parser.
+FAILPOINT_ENTRY_RE = re.compile(r'\{"([a-z0-9/_-]+)",')
+
+
+def check_failpoint_inventory(root):
+    """Every failpoint:<name> referenced in docs/ARCHITECTURE.md must be a
+    registered site in src/common/failpoint.cc's kFailpointInventory —
+    and every registered site must appear in the docs' failpoint table,
+    so a new injection site cannot ship without its durability coverage
+    being written down (and a renamed one cannot leave the docs pointing
+    at nothing). Returns (checked, broken)."""
+    doc = os.path.join(root, "docs", "ARCHITECTURE.md")
+    src = os.path.join(root, "src", "common", "failpoint.cc")
+    if not os.path.exists(doc) or not os.path.exists(src):
+        return 0, []
+    with open(src, encoding="utf-8") as handle:
+        src_text = handle.read()
+    m = re.search(r"kFailpointInventory\[\]\s*=\s*\{(.*?)\n\};", src_text,
+                  re.S)
+    registered = set(FAILPOINT_ENTRY_RE.findall(m.group(1))) if m else set()
+    broken = []
+    refs = set()
+    with open(doc, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for site in FAILPOINT_REF_RE.findall(line):
+                refs.add(site)
+                if site not in registered:
+                    broken.append((os.path.relpath(doc, root), number, site))
+    for site in sorted(registered - refs):
+        broken.append((os.path.relpath(doc, root), 0,
+                       f"{site} (registered but undocumented)"))
+    return len(refs), broken
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -146,13 +185,20 @@ def main():
     for path, number, rule in lint_broken:
         print(f"UNKNOWN LINT RULE {path}:{number}: eep-lint:{rule} "
               f"(docs and tools/eep_lint/registry.py disagree)")
+    fp_checked, fp_broken = check_failpoint_inventory(root)
+    for path, number, site in fp_broken:
+        print(f"UNKNOWN FAILPOINT {path}:{number}: failpoint:{site} "
+              f"(docs and src/common/failpoint.cc's kFailpointInventory "
+              f"disagree)")
     print(f"checked {checked} relative links in "
           f"{len(list(markdown_files(root)))} markdown files, "
-          f"{bench_checked} bench names in docs/BENCHMARKS.md, and "
-          f"{lint_checked} eep-lint rule ids in docs/ARCHITECTURE.md; "
+          f"{bench_checked} bench names in docs/BENCHMARKS.md, "
+          f"{lint_checked} eep-lint rule ids and {fp_checked} failpoint "
+          f"sites in docs/ARCHITECTURE.md; "
           f"{len(broken)} broken links, {len(bench_broken)} unknown benches, "
-          f"{len(lint_broken)} unknown lint rules")
-    return 1 if (broken or bench_broken or lint_broken) else 0
+          f"{len(lint_broken)} unknown lint rules, "
+          f"{len(fp_broken)} unknown failpoints")
+    return 1 if (broken or bench_broken or lint_broken or fp_broken) else 0
 
 
 if __name__ == "__main__":

@@ -335,6 +335,28 @@ def check_worker_float_accumulation(ctx, findings):
                 "(// eep-lint: blessed-merge -- <why> if this site is one)"))
 
 
+# Matches both the stream/FILE APIs themselves and `#include <fstream>`
+# (the include is as reliable a tell as a use, and survives sanitize()
+# since angle-bracket includes are not string literals).
+RAW_FILE_IO_RE = re.compile(
+    r"\b(?:std::)?[io]?fstream\b|\bfopen\s*\(|\bfreopen\s*\(|::open\s*\(")
+
+
+def check_raw_file_io(ctx, findings):
+    rel = ctx.rel.replace(os.sep, "/")
+    if rel.startswith("src/common/"):
+        return  # the file layer itself and its peers own the raw syscalls
+    for m in RAW_FILE_IO_RE.finditer(ctx.code):
+        line = line_of(ctx.code, m.start(), ctx.starts)
+        findings.append(Finding(
+            ctx.rel, line, "raw-file-io",
+            f"'{m.group(0).strip()}' bypasses the Status-returning file "
+            "layer (common/file.h): open/write/fsync failures go unreported "
+            "and failpoints cannot reach this I/O; route it through Env "
+            "(// eep-lint: suppress(raw-file-io) -- <why> if it must stay "
+            "raw)"))
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([\w./-]+)"', re.M)
 
 
@@ -375,4 +397,5 @@ def build_checkers(closure):
         "worker-float-accumulation": (check_worker_float_accumulation, None),
         "module-layering": (
             lambda ctx, f: check_module_layering(ctx, f, closure), {"src"}),
+        "raw-file-io": (check_raw_file_io, {"src"}),
     }

@@ -14,6 +14,7 @@ RULES = {
     "worker-shared-mutation": "captured state mutated in a worker region without atomic/disjoint-writes",
     "worker-float-accumulation": "float accumulation across worker boundaries outside blessed merge kernels",
     "module-layering": "#include crossing the module DAG of src/*/CMakeLists.txt",
+    "raw-file-io": "direct file I/O (fstream/fopen/open) in src/ outside common/, bypassing the Status-returning file layer",
     "raw-count-egress": "a raw (un-noised) count flows to an output sink without a mechanism Release on the path",
     "unaccounted-release": "release noise drawn on a path that never charges the PrivacyAccountant (or discards a refusal)",
     "stale-suppression": "an eep-lint annotation that no longer suppresses any finding",
