@@ -346,6 +346,7 @@ Result<std::vector<ReleasedTable>> RunReleaseWorkload(
   // the store serving its previous epoch (store/store.h).
   double persist_ms = 0.0;
   uint64_t persisted_epoch = 0;
+  std::string persisted_fingerprint;
   if (config.persist_to != nullptr) {
     const auto persist_start = std::chrono::steady_clock::now();
     std::vector<store::TableData> to_persist;
@@ -365,11 +366,12 @@ Result<std::vector<ReleasedTable>> RunReleaseWorkload(
       persisted.rows = tables[i].rows;
       to_persist.push_back(std::move(persisted));
     }
-    const std::string fingerprint = store::WorkloadFingerprint(
+    persisted_fingerprint = store::WorkloadFingerprint(
         config.workload, eval::MechanismKindName(config.mechanism),
         config.alpha, config.epsilon, config.delta);
-    EEP_ASSIGN_OR_RETURN(persisted_epoch, config.persist_to->CommitEpoch(
-                                              fingerprint, to_persist));
+    EEP_ASSIGN_OR_RETURN(persisted_epoch,
+                         config.persist_to->CommitEpoch(persisted_fingerprint,
+                                                        to_persist));
     persist_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - persist_start)
                      .count();
@@ -381,6 +383,7 @@ Result<std::vector<ReleasedTable>> RunReleaseWorkload(
     stats->format_ms = static_cast<double>(format_ns) * 1e-6;
     stats->persist_ms = persist_ms;
     stats->persisted_epoch = persisted_epoch;
+    stats->persisted_fingerprint = std::move(persisted_fingerprint);
   }
   return tables;
 }

@@ -126,6 +126,10 @@ struct WorkloadReleaseStats {
   double persist_ms = 0.0;
   /// Epoch id the persist step committed (0 when no store is attached).
   uint64_t persisted_epoch = 0;
+  /// The WorkloadFingerprint the epoch was committed under (empty when no
+  /// store is attached). A serving reader (serve::Server) checks this
+  /// against the manifest before answering from the epoch.
+  std::string persisted_fingerprint;
 };
 
 /// Releases every marginal of a workload from ONE shared scan: the fused

@@ -1,0 +1,139 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "eval/workloads.h"
+
+namespace eep::serve {
+
+std::string ExpectedFingerprint(
+    const release::WorkloadReleaseConfig& config) {
+  return store::WorkloadFingerprint(config.workload,
+                                    eval::MechanismKindName(config.mechanism),
+                                    config.alpha, config.epsilon,
+                                    config.delta);
+}
+
+Result<std::unique_ptr<Server>> Server::Open(const std::string& dir,
+                                             ServerOptions options) {
+  EEP_ASSIGN_OR_RETURN(std::unique_ptr<store::Store> store,
+                       store::Store::OpenReadOnly(dir));
+  std::unique_ptr<Server> server(
+      new Server(std::move(store), std::move(options)));
+  auto snapshot = std::make_shared<Snapshot>();
+  const uint64_t epoch = server->store_->last_committed_epoch();
+  if (epoch > 0) {
+    EEP_ASSIGN_OR_RETURN(*snapshot, Snapshot::Load(*server->store_, epoch));
+    if (!server->options_.expected_fingerprint.empty() &&
+        snapshot->fingerprint() != server->options_.expected_fingerprint) {
+      return Status::FailedPrecondition(
+          "store '" + dir + "' epoch " + std::to_string(epoch) +
+          " has fingerprint '" + snapshot->fingerprint() + "', expected '" +
+          server->options_.expected_fingerprint + "'");
+    }
+  }
+  server->snapshot_ = std::move(snapshot);
+  if (server->options_.poll_interval_ms > 0) {
+    server->refresh_thread_ = std::thread(&Server::RefreshLoop, server.get());
+  }
+  return server;
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (refresh_thread_.joinable()) refresh_thread_.join();
+}
+
+std::shared_ptr<const Snapshot> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+Result<std::string> Server::LookupCount(
+    const std::string& table,
+    const std::map<std::string, std::string>& values) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  EEP_ASSIGN_OR_RETURN(const ServedTable* served, snap->Find(table));
+  return served->LookupCell(values);
+}
+
+Result<std::vector<RankedCell>> Server::TopK(const std::string& table,
+                                             size_t k) const {
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  EEP_ASSIGN_OR_RETURN(const ServedTable* served, snap->Find(table));
+  return served->TopK(k);
+}
+
+Status Server::RefreshNow() {
+  // refresh_mu_ serializes the disk work (Store::Refresh mutates the
+  // store's epoch index); mu_ is only taken for the pointer swap, so
+  // readers are never blocked behind a snapshot load.
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  const uint64_t serving = snapshot()->epoch();
+  Result<uint64_t> latest = store_->Refresh();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.polls;
+  }
+  if (!latest.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    return latest.status();
+  }
+  if (latest.value() == serving) return Status::OK();
+
+  Result<Snapshot> loaded = Snapshot::Load(*store_, latest.value());
+  Status status = loaded.status();
+  if (status.ok() && !options_.expected_fingerprint.empty() &&
+      loaded.value().fingerprint() != options_.expected_fingerprint) {
+    status = Status::FailedPrecondition(
+        "epoch " + std::to_string(latest.value()) + " has fingerprint '" +
+        loaded.value().fingerprint() + "', expected '" +
+        options_.expected_fingerprint + "'");
+  }
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+    return status;
+  }
+  auto next = std::make_shared<const Snapshot>(std::move(loaded).value());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = std::move(next);  // The swap: one pointer assignment.
+    ++stats_.swaps;
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+bool Server::WaitForEpoch(uint64_t epoch, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return stop_ || snapshot_->epoch() >= epoch;
+  }) && snapshot_->epoch() >= epoch;
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Server::RefreshLoop() {
+  const auto interval = std::chrono::milliseconds(options_.poll_interval_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    // Refresh failures are already counted; the loop's job is to keep the
+    // previous snapshot serving and try again next tick.
+    RefreshNow().ok();
+    lock.lock();
+    cv_.wait_for(lock, interval, [&] { return stop_; });
+  }
+}
+
+}  // namespace eep::serve

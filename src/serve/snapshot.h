@@ -1,0 +1,120 @@
+// The immutable unit the serving layer swaps: one committed epoch's
+// tables decoded into memory and indexed for point lookups and ranking.
+//
+// A Snapshot is built once (Snapshot::Load reads the epoch back through
+// the store's checksummed read path) and never mutated afterwards, so any
+// number of reader threads can query one concurrently with no
+// synchronization at all — the concurrency story lives entirely in
+// serve::Server, which swaps `shared_ptr<const Snapshot>`s behind the
+// readers (docs/ARCHITECTURE.md, "Serving contract").
+//
+// Per table, two indexes are built over the stored rows:
+//
+//   by_key    row order sorted lexicographically by the attribute tuple
+//             (every column except the trailing value column) — marginal
+//             cell lookups are one O(log n) binary search;
+//   by_rank   row order by released count descending, ties by attribute
+//             tuple ascending — top-k ranking queries are an O(k) walk.
+//
+// Both indexes are pure functions of the stored rows, and every answer is
+// returned as the verbatim stored strings: a served answer is
+// bit-identical to Store::ReadTable of the same epoch, which the serving
+// stress/property tests assert under live commits.
+#ifndef EEP_SERVE_SNAPSHOT_H_
+#define EEP_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/store.h"
+
+namespace eep::serve {
+
+/// \brief One ranked answer row: the attribute values (header order,
+/// without the value column) plus the released count, verbatim.
+struct RankedCell {
+  std::vector<std::string> attrs;
+  std::string count;
+
+  bool operator==(const RankedCell& other) const {
+    return attrs == other.attrs && count == other.count;
+  }
+};
+
+/// \brief One table of a snapshot: the stored rows plus the two indexes.
+/// Immutable after Build; all methods are const and thread-safe.
+class ServedTable {
+ public:
+  /// Decodes `data` (attribute columns followed by one value column, the
+  /// shape the release pipeline persists) and builds both indexes.
+  static Result<ServedTable> Build(store::TableData data);
+
+  const std::string& name() const { return data_.name; }
+  /// Attribute columns followed by the value column ("count").
+  const std::vector<std::string>& header() const { return data_.header; }
+  /// Attribute column names only (header minus the value column).
+  std::vector<std::string> AttrColumns() const;
+  size_t num_rows() const { return data_.rows.size(); }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return data_.rows;
+  }
+
+  /// O(log n) point lookup by attribute tuple (one value per attribute
+  /// column, in header order). Returns the released count verbatim;
+  /// NotFound when the combination is not in the released domain.
+  Result<std::string> Lookup(const std::vector<std::string>& key) const;
+
+  /// Map-form lookup mirroring lodes::MarginalQuery::FindCell: requires
+  /// exactly one value per attribute column, by column name.
+  Result<std::string> LookupCell(
+      const std::map<std::string, std::string>& values) const;
+
+  /// The k highest released counts (numeric descending, ties by
+  /// attribute tuple ascending), O(k) off the precomputed rank index.
+  /// Fewer than k rows returns them all.
+  std::vector<RankedCell> TopK(size_t k) const;
+
+ private:
+  ServedTable() = default;
+
+  /// Compares two rows by attribute tuple (all columns but the last).
+  bool RowKeyLess(uint32_t a, uint32_t b) const;
+
+  store::TableData data_;
+  std::vector<uint32_t> by_key_;
+  std::vector<uint32_t> by_rank_;
+};
+
+/// \brief One committed epoch, decoded and indexed. Immutable; shared
+/// across reader threads as `shared_ptr<const Snapshot>`.
+class Snapshot {
+ public:
+  /// The pre-first-epoch state: epoch 0, no tables. Servers open on an
+  /// empty store serve this until the first commit lands.
+  Snapshot() = default;
+
+  /// Reads every table of `epoch` back through the store's verifying
+  /// read path and indexes it. IOError surfaces (never wrong data); the
+  /// caller keeps serving its previous snapshot on failure.
+  static Result<Snapshot> Load(const store::Store& store, uint64_t epoch);
+
+  /// 0 for the empty pre-first-epoch snapshot.
+  uint64_t epoch() const { return epoch_; }
+  const std::string& fingerprint() const { return fingerprint_; }
+  /// Tables in committed order.
+  const std::vector<ServedTable>& tables() const { return tables_; }
+  /// NotFound when the epoch has no table `name` (or no epoch is loaded).
+  Result<const ServedTable*> Find(const std::string& name) const;
+
+ private:
+  uint64_t epoch_ = 0;
+  std::string fingerprint_;
+  std::vector<ServedTable> tables_;
+};
+
+}  // namespace eep::serve
+
+#endif  // EEP_SERVE_SNAPSHOT_H_

@@ -190,6 +190,111 @@ Result<std::unique_ptr<Store>> Store::Open(const std::string& dir) {
   return st;
 }
 
+Result<std::unique_ptr<Store>> Store::OpenReadOnly(const std::string& dir) {
+  std::unique_ptr<Store> st(new Store(dir));
+  st->read_only_ = true;
+  // Refresh does exactly the read-side half of recovery: load whatever
+  // manifest is committed right now (possibly none) and validate its
+  // segments, touching nothing on disk.
+  EEP_RETURN_NOT_OK(st->Refresh().status());
+  return st;
+}
+
+Status Store::ParseManifestImage(const std::string& image,
+                                 std::map<uint64_t, EpochInfo>* epochs,
+                                 uint64_t* last_epoch) {
+  size_t pos = 0;
+  std::string payload;
+  EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
+  {
+    PayloadReader reader(payload, "MANIFEST header");
+    EEP_RETURN_NOT_OK(reader.ExpectTag(kManifestMagic));
+  }
+  while (pos < image.size()) {
+    EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
+    PayloadReader reader(payload, "MANIFEST record");
+    EEP_RETURN_NOT_OK(reader.ExpectTag(kEpochTag));
+    EpochInfo info;
+    EEP_RETURN_NOT_OK(reader.GetFixed64(&info.epoch));
+    EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&info.fingerprint));
+    uint32_t num_tables = 0;
+    EEP_RETURN_NOT_OK(reader.GetFixed32(&num_tables));
+    for (uint32_t t = 0; t < num_tables; ++t) {
+      TableMeta meta;
+      EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.name));
+      EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.segment_file));
+      EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.size_bytes));
+      EEP_RETURN_NOT_OK(reader.GetFixed32(&meta.crc32c));
+      EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.num_rows));
+      info.tables.push_back(std::move(meta));
+    }
+    if (!reader.AtEnd()) {
+      return Status::IOError("MANIFEST record for epoch " +
+                             std::to_string(info.epoch) +
+                             " carries trailing bytes");
+    }
+    if (info.epoch <= *last_epoch) {
+      return Status::IOError("MANIFEST epochs not strictly increasing at " +
+                             std::to_string(info.epoch));
+    }
+    *last_epoch = info.epoch;
+    (*epochs)[info.epoch] = std::move(info);
+  }
+  return Status::OK();
+}
+
+Status Store::ValidateEpochSegments(const EpochInfo& info) const {
+  Env* env = Env::Default();
+  for (const TableMeta& meta : info.tables) {
+    const std::string path = dir_ + "/" + meta.segment_file;
+    EEP_ASSIGN_OR_RETURN(bool exists, env->FileExists(path));
+    if (!exists) {
+      return Status::IOError("committed segment missing: " + path);
+    }
+    EEP_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
+    if (size != meta.size_bytes) {
+      return Status::IOError(
+          "committed segment '" + path + "' is " + std::to_string(size) +
+          " bytes, manifest records " + std::to_string(meta.size_bytes));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Store::Refresh() {
+  Env* env = Env::Default();
+  const std::string manifest_path = dir_ + "/" + kManifestName;
+  EEP_ASSIGN_OR_RETURN(bool has_manifest, env->FileExists(manifest_path));
+  if (!has_manifest) {
+    // Nothing committed yet (a read-only open may even precede the
+    // directory). The writer's first commit will show up next poll.
+    return last_epoch_;
+  }
+  // Fast path: between renames the image only ever grows by appended
+  // records, so an unchanged byte size means an unchanged manifest.
+  EEP_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(manifest_path));
+  if (size == manifest_image_.size() && !manifest_image_.empty()) {
+    return last_epoch_;
+  }
+
+  EEP_ASSIGN_OR_RETURN(std::string image,
+                       env->ReadFileToString(manifest_path));
+  std::map<uint64_t, EpochInfo> epochs;
+  uint64_t last_epoch = 0;
+  EEP_RETURN_NOT_OK(ParseManifestImage(image, &epochs, &last_epoch));
+  // Only epochs this instance has not seen need their segments checked —
+  // known ones were validated when first loaded. Validate before
+  // publishing anything, so a failed refresh leaves the instance on its
+  // previous (consistent) epoch set.
+  for (const auto& [epoch, info] : epochs) {
+    if (epoch > last_epoch_) EEP_RETURN_NOT_OK(ValidateEpochSegments(info));
+  }
+  manifest_image_ = std::move(image);
+  epochs_ = std::move(epochs);
+  last_epoch_ = last_epoch;
+  return last_epoch_;
+}
+
 Status Store::Recover() {
   Env* env = Env::Default();
   EEP_RETURN_NOT_OK(env->CreateDirIfMissing(dir_));
@@ -213,43 +318,7 @@ Status Store::Recover() {
   } else {
     EEP_ASSIGN_OR_RETURN(std::string image,
                          env->ReadFileToString(manifest_path));
-    size_t pos = 0;
-    std::string payload;
-    EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
-    {
-      PayloadReader reader(payload, "MANIFEST header");
-      EEP_RETURN_NOT_OK(reader.ExpectTag(kManifestMagic));
-    }
-    while (pos < image.size()) {
-      EEP_RETURN_NOT_OK(ReadFrame(image, &pos, &payload, "MANIFEST"));
-      PayloadReader reader(payload, "MANIFEST record");
-      EEP_RETURN_NOT_OK(reader.ExpectTag(kEpochTag));
-      EpochInfo info;
-      EEP_RETURN_NOT_OK(reader.GetFixed64(&info.epoch));
-      EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&info.fingerprint));
-      uint32_t num_tables = 0;
-      EEP_RETURN_NOT_OK(reader.GetFixed32(&num_tables));
-      for (uint32_t t = 0; t < num_tables; ++t) {
-        TableMeta meta;
-        EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.name));
-        EEP_RETURN_NOT_OK(reader.GetLengthPrefixed(&meta.segment_file));
-        EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.size_bytes));
-        EEP_RETURN_NOT_OK(reader.GetFixed32(&meta.crc32c));
-        EEP_RETURN_NOT_OK(reader.GetFixed64(&meta.num_rows));
-        info.tables.push_back(std::move(meta));
-      }
-      if (!reader.AtEnd()) {
-        return Status::IOError("MANIFEST record for epoch " +
-                               std::to_string(info.epoch) +
-                               " carries trailing bytes");
-      }
-      if (info.epoch <= last_epoch_) {
-        return Status::IOError("MANIFEST epochs not strictly increasing at " +
-                               std::to_string(info.epoch));
-      }
-      last_epoch_ = info.epoch;
-      epochs_[info.epoch] = std::move(info);
-    }
+    EEP_RETURN_NOT_OK(ParseManifestImage(image, &epochs_, &last_epoch_));
     manifest_image_ = std::move(image);
   }
 
@@ -258,19 +327,7 @@ Status Store::Recover() {
   //    makes a violation corruption, not a crash artifact.
   for (const auto& [epoch, info] : epochs_) {
     (void)epoch;
-    for (const TableMeta& meta : info.tables) {
-      const std::string path = dir_ + "/" + meta.segment_file;
-      EEP_ASSIGN_OR_RETURN(bool exists, env->FileExists(path));
-      if (!exists) {
-        return Status::IOError("committed segment missing: " + path);
-      }
-      EEP_ASSIGN_OR_RETURN(uint64_t size, env->FileSize(path));
-      if (size != meta.size_bytes) {
-        return Status::IOError(
-            "committed segment '" + path + "' is " + std::to_string(size) +
-            " bytes, manifest records " + std::to_string(meta.size_bytes));
-      }
-    }
+    EEP_RETURN_NOT_OK(ValidateEpochSegments(info));
   }
 
   // 4. Remove orphans: segments written by a commit that never reached
@@ -396,6 +453,10 @@ Status Store::CommitManifest(const std::string& appended_record,
 
 Result<uint64_t> Store::CommitEpoch(const std::string& fingerprint,
                                     const std::vector<TableData>& tables) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "CommitEpoch on a read-only store (OpenReadOnly)");
+  }
   if (tables.empty()) {
     return Status::InvalidArgument("CommitEpoch: empty table set");
   }

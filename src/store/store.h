@@ -89,9 +89,18 @@ std::string WorkloadFingerprint(const lodes::WorkloadSpec& workload,
                                 const std::string& mechanism_name,
                                 double alpha, double epsilon, double delta);
 
-/// \brief The embedded store. Not thread-safe for concurrent commits;
-/// concurrent readers of distinct Store instances over the same committed
-/// directory are fine (all reads are positional).
+/// \brief The embedded store.
+///
+/// Thread compatibility: const methods (ReadTable/ReadEpoch/GetEpoch/
+/// Epochs/...) never mutate instance state and are safe to call from any
+/// number of threads concurrently on one instance (every read is
+/// positional; store_test pins this under ctest's TSan configuration).
+/// CommitEpoch and Refresh mutate the epoch index and need external
+/// synchronization against each other AND against the const methods.
+/// Distinct instances over the same committed directory never share
+/// state, so a read-only serving instance (OpenReadOnly + Refresh) can
+/// follow a writer instance — or a writer in another process — with no
+/// coordination beyond the commit protocol itself.
 class Store {
  public:
   /// Opens (creating the directory if needed) and RECOVERS: removes the
@@ -100,6 +109,25 @@ class Store {
   /// validation through corruption -> IOError), and checks every
   /// committed segment is present with its recorded size.
   static Result<std::unique_ptr<Store>> Open(const std::string& dir);
+
+  /// Opens WITHOUT mutating the directory: no torn-tail removal, no
+  /// orphan sweep, no directory creation — safe while another instance
+  /// (or process) is mid-commit, because the rename swap guarantees any
+  /// MANIFEST this reads is complete. A missing directory or manifest is
+  /// an empty store, not an error: the serving layer opens before the
+  /// first release has committed and picks epochs up via Refresh. The
+  /// returned store refuses CommitEpoch with FailedPrecondition.
+  static Result<std::unique_ptr<Store>> OpenReadOnly(const std::string& dir);
+
+  /// Re-reads the manifest and folds in epochs committed since this
+  /// instance last looked (by another instance or process — the epoch-
+  /// change polling hook of the serving layer). Cheap when nothing
+  /// changed: the manifest image is append-only between renames, so a
+  /// size probe short-circuits the re-parse. New epochs are validated
+  /// like Open validates them (segment presence + recorded size).
+  /// Returns the last committed epoch. Mutates the epoch index: needs
+  /// the same external synchronization as CommitEpoch.
+  Result<uint64_t> Refresh();
 
   /// Persists `tables` as the next epoch via the commit protocol above.
   /// Returns the committed epoch id. On error nothing is committed — a
@@ -133,6 +161,14 @@ class Store {
   explicit Store(std::string dir) : dir_(std::move(dir)) {}
 
   Status Recover();
+  /// Parses a complete manifest image into *epochs / *last_epoch (which
+  /// must come in empty). Pure validation — no filesystem access.
+  static Status ParseManifestImage(const std::string& image,
+                                   std::map<uint64_t, EpochInfo>* epochs,
+                                   uint64_t* last_epoch);
+  /// Checks every table of `info` has its segment on disk at the
+  /// manifest-recorded size.
+  Status ValidateEpochSegments(const EpochInfo& info) const;
   Status WriteSegment(const std::string& file, const TableData& table,
                       TableMeta* meta) const;
   /// Sets *renamed once the atomic swap has happened, so the caller can
@@ -141,8 +177,11 @@ class Store {
   Status CommitManifest(const std::string& appended_record, bool* renamed);
 
   std::string dir_;
+  bool read_only_ = false;
   /// The manifest image as last committed (header record + one record per
   /// epoch); CommitEpoch extends it in memory and swaps it in atomically.
+  /// Refresh's fast path leans on the append-only growth: a same-sized
+  /// on-disk manifest is the one already loaded.
   std::string manifest_image_;
   std::map<uint64_t, EpochInfo> epochs_;
   uint64_t last_epoch_ = 0;

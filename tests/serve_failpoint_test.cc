@@ -1,0 +1,204 @@
+// Failure isolation of the serving contract: for EVERY write-side
+// failpoint site a commit consults, inject an error or a simulated crash
+// into a commit attempt while a live server with reader threads is
+// serving the previous epoch. The readers must keep getting whole,
+// bit-identical answers throughout — from the previous epoch, or from the
+// new one only when the fault landed after the commit point — and the
+// store must serve the retried epoch once the "writer process" recovers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "serve/server.h"
+#include "store/store.h"
+
+namespace eep::serve {
+namespace {
+
+class ServeFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/eep_serve_failpoint_test";
+    std::filesystem::remove_all(dir_);
+    FailpointRegistry::Instance().DisarmAll();
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+store::TableData EpochTable(uint64_t epoch) {
+  store::TableData table;
+  table.name = "jobs";
+  table.header = {"place", "count"};
+  for (int r = 0; r < 24; ++r) {
+    table.rows.push_back(
+        {"p" + std::to_string(r % 9),
+         std::to_string((r * 53 + static_cast<int>(epoch) * 1009) % 5000)});
+  }
+  return table;
+}
+
+// The write-side sites one commit consults (site -> hits), recorded in a
+// scratch directory; same technique as the store crash matrix.
+std::map<std::string, int> CommitSites(const std::string& scratch) {
+  auto& registry = FailpointRegistry::Instance();
+  std::filesystem::remove_all(scratch);
+  auto store = store::Store::Open(scratch);
+  EXPECT_TRUE(store.ok());
+  EXPECT_TRUE(store.value()->CommitEpoch("fp-1", {EpochTable(1)}).ok());
+  registry.EnableCounting(true);
+  EXPECT_TRUE(store.value()->CommitEpoch("fp-2", {EpochTable(2)}).ok());
+  std::map<std::string, int> hits;
+  for (const std::string& name : registry.Names()) {
+    if (registry.HitCount(name) > 0) hits[name] = registry.HitCount(name);
+  }
+  registry.EnableCounting(false);
+  registry.DisarmAll();
+  std::filesystem::remove_all(scratch);
+  return hits;
+}
+
+TEST_F(ServeFailpointTest, ReadersKeepServingThroughEveryFaultedCommit) {
+  auto& registry = FailpointRegistry::Instance();
+  const std::map<std::string, int> sites = CommitSites(dir_ + ".scratch");
+  ASSERT_GE(sites.size(), 10u);
+
+  const store::TableData epoch1 = EpochTable(1);
+  const store::TableData epoch2 = EpochTable(2);
+  int cases = 0;
+  for (const auto& [site, hits] : sites) {
+    for (FailpointFault fault :
+         {FailpointFault::kError, FailpointFault::kCrash}) {
+      const std::string context =
+          site + " fault " + std::to_string(static_cast<int>(fault));
+      ++cases;
+      std::filesystem::remove_all(dir_);
+      auto writer = store::Store::Open(dir_);
+      ASSERT_TRUE(writer.ok()) << context;
+      ASSERT_TRUE(writer.value()->CommitEpoch("fp-1", {epoch1}).ok())
+          << context;
+
+      ServerOptions options;
+      options.poll_interval_ms = 0;  // swaps only at explicit RefreshNow
+      auto opened = Server::Open(dir_, options);
+      ASSERT_TRUE(opened.ok()) << context << ": "
+                               << opened.status().ToString();
+      Server* server = opened.value().get();
+
+      // Live readers: pin, answer, audit against the only two epochs
+      // that can legally exist, until told to stop.
+      constexpr int kReaders = 2;
+      std::atomic<bool> done{false};
+      std::atomic<uint64_t> checked{0};
+      std::vector<std::string> errors(kReaders);
+      std::vector<std::thread> readers;
+      readers.reserve(kReaders);
+      for (int w = 0; w < kReaders; ++w) {
+        // eep-lint: disjoint-writes -- reader w writes errors[w] only;
+        // the counters are atomics.
+        readers.emplace_back([&, w] {
+          while (!done.load(std::memory_order_relaxed)) {
+            std::shared_ptr<const Snapshot> snap = server->snapshot();
+            const store::TableData* want = nullptr;
+            if (snap->epoch() == 1) {
+              want = &epoch1;
+            } else if (snap->epoch() == 2) {
+              want = &epoch2;
+            } else {
+              errors[w] = "pinned impossible epoch " +
+                          std::to_string(snap->epoch());
+              return;
+            }
+            auto find = snap->Find("jobs");
+            if (!find.ok()) {
+              errors[w] = find.status().ToString();
+              return;
+            }
+            if (!(find.value()->rows() == want->rows)) {
+              errors[w] = "torn answer: pinned epoch " +
+                          std::to_string(snap->epoch()) +
+                          " rows are not the committed rows";
+              return;
+            }
+            auto got = find.value()->Lookup({want->rows[5][0]});
+            if (!got.ok()) {
+              errors[w] = got.status().ToString();
+              return;
+            }
+            checked.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+
+      // The faulted commit, with the readers live. Fault at the FIRST
+      // hit of the site: the earliest, most destructive point.
+      FailpointSpec spec;
+      spec.fault = fault;
+      spec.hit = 1;
+      spec.message = "EIO";
+      registry.Arm(site, spec);
+      const Status commit =
+          writer.value()->CommitEpoch("fp-2", {epoch2}).status();
+      // Refresh attempts with the fault window still open must never
+      // surface a torn epoch; failure just keeps epoch 1 serving.
+      server->RefreshNow().ok();
+      registry.DisarmAll();
+
+      // A faulted commit can fail in microseconds; keep the readers live
+      // until each has audited at least one answer post-fault.
+      for (int spin = 0; spin < 5000 && checked.load(std::memory_order_relaxed) <
+                                            static_cast<uint64_t>(kReaders);
+           ++spin) {  // bounded: an errored reader stops auditing
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      done.store(true, std::memory_order_relaxed);
+      for (auto& t : readers) t.join();
+      for (int w = 0; w < kReaders; ++w) {
+        ASSERT_TRUE(errors[w].empty())
+            << context << " reader " << w << ": " << errors[w];
+      }
+      EXPECT_GT(checked.load(), 0u) << context;
+
+      // Now that the fault is gone: the epoch the writer managed to
+      // commit (2 only when the fault landed after the commit point)
+      // must be servable, and a recovered writer's retry must flow
+      // through to the reader.
+      ASSERT_TRUE(server->RefreshNow().ok()) << context;
+      if (commit.ok()) {
+        EXPECT_EQ(server->serving_epoch(), 2u) << context;
+      } else {
+        EXPECT_TRUE(server->serving_epoch() == 1u ||
+                    server->serving_epoch() == 2u)
+            << context;
+      }
+      auto recovered = store::Store::Open(dir_);  // the "reboot"
+      ASSERT_TRUE(recovered.ok())
+          << context << ": " << recovered.status().ToString();
+      const uint64_t next = recovered.value()->last_committed_epoch() + 1;
+      auto retry = recovered.value()->CommitEpoch(
+          "fp-retry", {EpochTable(next)});
+      ASSERT_TRUE(retry.ok()) << context << ": "
+                              << retry.status().ToString();
+      ASSERT_TRUE(server->RefreshNow().ok()) << context;
+      EXPECT_EQ(server->serving_epoch(), retry.value()) << context;
+      auto served = server->snapshot()->Find("jobs");
+      ASSERT_TRUE(served.ok()) << context;
+      EXPECT_TRUE(served.value()->rows() == EpochTable(next).rows)
+          << context;
+    }
+  }
+  EXPECT_GE(cases, 20);
+}
+
+}  // namespace
+}  // namespace eep::serve

@@ -1,0 +1,163 @@
+// Property half of the serving contract, over EVERY workload preset: the
+// serving layer is a lossless index. For each preset the pipeline
+// releases and persists two epochs; for 1, 2 and 4 and 8 reader threads,
+// every cell of every marginal answered through the serving index must
+// equal the released table row verbatim — against the snapshot pinned
+// BEFORE the second swap (old epoch) and the one pinned after (new
+// epoch), concurrently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lodes/generator.h"
+#include "release/pipeline.h"
+#include "serve/server.h"
+#include "store/store.h"
+
+namespace eep::serve {
+namespace {
+
+const char* const kPresets[] = {"establishment", "workplace_sexedu",
+                                "industry_sexedu", "full_demographics",
+                                "paper"};
+
+// Per-table key -> released counts, built once per release and shared
+// read-only across verifier threads (a released table can repeat a tuple;
+// the serving index keeps one deterministic winner among its counts).
+using TupleCounts =
+    std::vector<std::map<std::vector<std::string>, std::set<std::string>>>;
+
+TupleCounts IndexReleased(
+    const std::vector<release::ReleasedTable>& released) {
+  TupleCounts index(released.size());
+  for (size_t i = 0; i < released.size(); ++i) {
+    for (const auto& row : released[i].rows) {
+      index[i][std::vector<std::string>(row.begin(), row.end() - 1)].insert(
+          row.back());
+    }
+  }
+  return index;
+}
+
+// Thread `w` of `threads` checks its stride of every released row: the
+// served answer for the row's attribute tuple must be one of the released
+// counts for that tuple.
+void VerifySlice(const Snapshot& snap,
+                 const std::vector<release::ReleasedTable>& released,
+                 const TupleCounts& index, int w, int threads,
+                 std::string* error) {
+  if (snap.tables().size() != released.size()) {
+    *error = "table count mismatch";
+    return;
+  }
+  for (size_t i = 0; i < released.size(); ++i) {
+    const auto& rows = released[i].rows;
+    const ServedTable& served = snap.tables()[i];
+    if (served.num_rows() != rows.size()) {
+      *error = "row count mismatch in table " + std::to_string(i);
+      return;
+    }
+    for (size_t r = static_cast<size_t>(w); r < rows.size();
+         r += static_cast<size_t>(threads)) {
+      std::vector<std::string> key(rows[r].begin(), rows[r].end() - 1);
+      auto got = served.Lookup(key);
+      if (!got.ok()) {
+        *error = got.status().ToString();
+        return;
+      }
+      const auto it = index[i].find(key);
+      if (it == index[i].end() || it->second.count(got.value()) == 0) {
+        *error = "table " + std::to_string(i) + " row " +
+                 std::to_string(r) + ": served '" + got.value() +
+                 "' is not a released count for that tuple";
+        return;
+      }
+    }
+  }
+}
+
+TEST(ServePropertyTest, EveryPresetServesTheReleasedTablesAcrossSwaps) {
+  lodes::GeneratorConfig gen;
+  gen.seed = 23;
+  gen.target_jobs = 4000;
+  gen.num_places = 8;
+  auto data = lodes::SyntheticLodesGenerator(gen).Generate();
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  for (const char* preset : kPresets) {
+    SCOPED_TRACE(preset);
+    const std::string dir =
+        testing::TempDir() + "/eep_serve_property_" + preset;
+    std::filesystem::remove_all(dir);
+
+    auto workload = lodes::WorkloadSpec::ByName(preset);
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    release::WorkloadReleaseConfig config;
+    config.workload = workload.value();
+    config.epsilon = 2.0;
+    config.delta = 0.05;
+    config.num_threads = 2;
+
+    auto writer = store::Store::Open(dir);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    config.persist_to = writer.value().get();
+
+    // Two releases of the same workload: same fingerprint, different
+    // noise (the rng advances), persisted as epochs 1 and 2.
+    Rng rng(4242);
+    auto released1 =
+        release::RunReleaseWorkload(data.value(), config, nullptr, rng);
+    ASSERT_TRUE(released1.ok()) << released1.status().ToString();
+    ServerOptions options;
+    options.poll_interval_ms = 0;
+    options.expected_fingerprint = ExpectedFingerprint(config);
+    auto opened = Server::Open(dir, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    Server* server = opened.value().get();
+    ASSERT_EQ(server->serving_epoch(), 1u);
+
+    // Pin BEFORE the swap, commit the second epoch, pin after: both
+    // snapshots answer concurrently below.
+    std::shared_ptr<const Snapshot> before = server->snapshot();
+    auto released2 =
+        release::RunReleaseWorkload(data.value(), config, nullptr, rng);
+    ASSERT_TRUE(released2.ok()) << released2.status().ToString();
+    ASSERT_TRUE(server->RefreshNow().ok());
+    ASSERT_EQ(server->serving_epoch(), 2u);
+    std::shared_ptr<const Snapshot> after = server->snapshot();
+    ASSERT_EQ(before->epoch(), 1u);
+    const TupleCounts index1 = IndexReleased(released1.value());
+    const TupleCounts index2 = IndexReleased(released2.value());
+
+    for (int threads : {1, 2, 4, 8}) {
+      SCOPED_TRACE(threads);
+      std::vector<std::string> errors(static_cast<size_t>(threads));
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      for (int w = 0; w < threads; ++w) {
+        pool.emplace_back([&, w] {
+          VerifySlice(*before, released1.value(), index1, w, threads,
+                      &errors[w]);
+          if (errors[w].empty()) {
+            VerifySlice(*after, released2.value(), index2, w, threads,
+                        &errors[w]);
+          }
+        });
+      }
+      for (auto& t : pool) t.join();
+      for (int w = 0; w < threads; ++w) {
+        EXPECT_TRUE(errors[w].empty())
+            << "thread " << w << "/" << threads << ": " << errors[w];
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace eep::serve

@@ -1,0 +1,303 @@
+// The serving layer, single-threaded halves of the contract: ServedTable
+// index correctness (lookup and top-k against brute force), Snapshot
+// loading, read-only store semantics (OpenReadOnly/Refresh), server
+// open/refresh/swap, the fingerprint gate, and the release -> store ->
+// serve end-to-end path. The concurrent halves live in
+// serve_stress_test.cc / serve_failpoint_test.cc / serve_property_test.cc.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/failpoint.h"
+#include "lodes/generator.h"
+#include "release/pipeline.h"
+#include "serve/snapshot.h"
+#include "store/store.h"
+
+namespace eep::serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/eep_serve_test";
+    std::filesystem::remove_all(dir_);
+    FailpointRegistry::Instance().DisarmAll();
+  }
+  void TearDown() override {
+    FailpointRegistry::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+store::TableData MakeTable(const std::string& name, int rows, int salt = 0) {
+  store::TableData table;
+  table.name = name;
+  table.header = {"place", "sector", "count"};
+  for (int r = 0; r < rows; ++r) {
+    table.rows.push_back({"place-" + std::to_string((r + salt) % 7),
+                          "s" + std::to_string(r % 3),
+                          std::to_string((r * 37 + salt * 11) % 100)});
+  }
+  return table;
+}
+
+TEST_F(ServeTest, LookupMatchesLinearScanOnEveryRow) {
+  const store::TableData data = MakeTable("t", 50, 3);
+  auto table = ServedTable::Build(data);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (const auto& row : data.rows) {
+    auto got = table.value().Lookup({row[0], row[1]});
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Duplicate attribute tuples keep a deterministic winner; the answer
+    // must be SOME stored count for that tuple, verbatim.
+    bool matches_a_row = false;
+    for (const auto& r : data.rows) {
+      if (r[0] == row[0] && r[1] == row[1] && r[2] == got.value()) {
+        matches_a_row = true;
+      }
+    }
+    EXPECT_TRUE(matches_a_row) << row[0] << "," << row[1];
+  }
+  EXPECT_EQ(table.value().Lookup({"no-such-place", "s0"}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(table.value().Lookup({"only-one-column"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, LookupCellRequiresExactlyTheAttributeColumns) {
+  auto table = ServedTable::Build(MakeTable("t", 10));
+  ASSERT_TRUE(table.ok());
+  auto got =
+      table.value().LookupCell({{"place", "place-1"}, {"sector", "s1"}});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(table.value()
+                .LookupCell({{"place", "place-1"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.value()
+                .LookupCell({{"place", "place-1"}, {"bogus", "s1"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, TopKIsNumericDescendingWithDeterministicTies) {
+  store::TableData data;
+  data.name = "ranked";
+  data.header = {"place", "count"};
+  // "9" must rank above "10" would be the lexicographic bug; counts
+  // repeat so ties exercise the attribute-tuple tiebreak.
+  data.rows = {{"a", "9"},  {"b", "10"}, {"c", "110"},
+               {"d", "10"}, {"e", "2"},  {"f", "110"}};
+  auto table = ServedTable::Build(std::move(data));
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+  const std::vector<RankedCell> top = table.value().TopK(4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].attrs, std::vector<std::string>{"c"});
+  EXPECT_EQ(top[1].attrs, std::vector<std::string>{"f"});
+  EXPECT_EQ(top[2].attrs, std::vector<std::string>{"b"});
+  EXPECT_EQ(top[3].attrs, std::vector<std::string>{"d"});
+  EXPECT_EQ(top[2].count, "10");
+  // k past the end returns everything.
+  EXPECT_EQ(table.value().TopK(100).size(), 6u);
+}
+
+TEST_F(ServeTest, BuildRejectsMalformedTables) {
+  store::TableData no_attrs;
+  no_attrs.name = "bad";
+  no_attrs.header = {"count"};
+  EXPECT_EQ(ServedTable::Build(no_attrs).status().code(),
+            StatusCode::kInvalidArgument);
+
+  store::TableData ragged = MakeTable("ragged", 5);
+  ragged.rows[3].pop_back();
+  EXPECT_EQ(ServedTable::Build(ragged).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, OpenReadOnlyFollowsAWriterWithoutTouchingTheDirectory) {
+  // Before the directory even exists: an empty store, not an error.
+  auto reader = store::Store::OpenReadOnly(dir_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->last_committed_epoch(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+  EXPECT_EQ(reader.value()->CommitEpoch("fp", {MakeTable("t", 3)})
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->CommitEpoch("fp-1", {MakeTable("t", 8)}).ok());
+
+  // The reader instance picks the commit up via Refresh, and a second
+  // Refresh with nothing new takes the size-probe fast path (same answer).
+  auto refreshed = reader.value()->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(refreshed.value(), 1u);
+  EXPECT_EQ(reader.value()->Refresh().value(), 1u);
+  auto read = reader.value()->ReadTable(1, "t");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read.value() == MakeTable("t", 8));
+
+  ASSERT_TRUE(writer.value()->CommitEpoch("fp-2", {MakeTable("t", 9)}).ok());
+  EXPECT_EQ(reader.value()->Refresh().value(), 2u);
+  EXPECT_EQ(reader.value()->Epochs().size(), 2u);
+}
+
+TEST_F(ServeTest, ServerServesEmptyStoreThenSwapsInFirstEpoch) {
+  ServerOptions options;
+  options.poll_interval_ms = 0;  // manual RefreshNow only
+  auto server = Server::Open(dir_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(server.value()->serving_epoch(), 0u);
+  EXPECT_EQ(server.value()->LookupCount("t", {}).status().code(),
+            StatusCode::kNotFound);
+
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      writer.value()->CommitEpoch("fp-1", {MakeTable("t", 12)}).ok());
+
+  // A snapshot pinned BEFORE the refresh must not move.
+  std::shared_ptr<const Snapshot> pinned = server.value()->snapshot();
+  ASSERT_TRUE(server.value()->RefreshNow().ok());
+  EXPECT_EQ(server.value()->serving_epoch(), 1u);
+  EXPECT_EQ(pinned->epoch(), 0u);
+
+  auto count = server.value()->LookupCount(
+      "t", {{"place", "place-1"}, {"sector", "s1"}});
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  const Server::Stats stats = server.value()->stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST_F(ServeTest, BackgroundRefreshObservesCommitWithinTheStalenessBound) {
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->CommitEpoch("fp-1", {MakeTable("t", 5)}).ok());
+
+  ServerOptions options;
+  options.poll_interval_ms = 2;
+  auto server = Server::Open(dir_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(server.value()->serving_epoch(), 1u);
+
+  ASSERT_TRUE(
+      writer.value()->CommitEpoch("fp-2", {MakeTable("t", 6, 1)}).ok());
+  EXPECT_TRUE(server.value()->WaitForEpoch(2, /*timeout_ms=*/10000));
+  EXPECT_EQ(server.value()->serving_epoch(), 2u);
+  EXPECT_GE(server.value()->stats().polls, 1u);
+}
+
+TEST_F(ServeTest, FingerprintGateRefusesTheWrongRelease) {
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      writer.value()->CommitEpoch("fp-right", {MakeTable("t", 4)}).ok());
+
+  ServerOptions options;
+  options.poll_interval_ms = 0;
+  options.expected_fingerprint = "fp-wrong";
+  EXPECT_EQ(Server::Open(dir_, options).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Opened on the empty store first, the gate instead rejects the swap:
+  // the empty snapshot keeps serving and the failure is counted.
+  std::filesystem::remove_all(dir_);
+  auto gated = Server::Open(dir_, options);
+  ASSERT_TRUE(gated.ok()) << gated.status().ToString();
+  writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(
+      writer.value()->CommitEpoch("fp-right", {MakeTable("t", 4)}).ok());
+  EXPECT_EQ(gated.value()->RefreshNow().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(gated.value()->serving_epoch(), 0u);
+  EXPECT_EQ(gated.value()->stats().failures, 1u);
+}
+
+TEST_F(ServeTest, ReleaseToServeEndToEnd) {
+  lodes::GeneratorConfig gen;
+  gen.seed = 17;
+  gen.target_jobs = 6000;
+  gen.num_places = 10;
+  auto data = lodes::SyntheticLodesGenerator(gen).Generate();
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+  release::WorkloadReleaseConfig config;
+  config.workload = lodes::WorkloadSpec::PaperTabulations();
+  config.epsilon = 2.0;
+  config.delta = 0.05;
+
+  // Server opens before anything is released, gated on the fingerprint
+  // the pipeline is ABOUT to commit.
+  ServerOptions options;
+  options.poll_interval_ms = 0;
+  options.expected_fingerprint = ExpectedFingerprint(config);
+  auto server = Server::Open(dir_, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  config.persist_to = writer.value().get();
+  Rng rng(99);
+  release::WorkloadReleaseStats stats;
+  auto released = release::RunReleaseWorkload(data.value(), config, nullptr, rng,
+                                              nullptr, &stats);
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  EXPECT_EQ(stats.persisted_fingerprint, options.expected_fingerprint);
+  EXPECT_EQ(stats.persisted_epoch, 1u);
+
+  ASSERT_TRUE(server.value()->RefreshNow().ok());
+  ASSERT_EQ(server.value()->serving_epoch(), 1u);
+  std::shared_ptr<const Snapshot> snap = server.value()->snapshot();
+  EXPECT_EQ(snap->fingerprint(), stats.persisted_fingerprint);
+  ASSERT_EQ(snap->tables().size(), released.value().size());
+
+  // Every released cell answers through the serving index with the
+  // verbatim released count; top-k re-derives from the released rows.
+  for (size_t i = 0; i < released.value().size(); ++i) {
+    const release::ReleasedTable& want = released.value()[i];
+    const ServedTable& served = snap->tables()[i];
+    EXPECT_EQ(served.header(), want.header);
+    ASSERT_EQ(served.num_rows(), want.rows.size());
+    for (const auto& row : want.rows) {
+      std::vector<std::string> key(row.begin(), row.end() - 1);
+      auto got = served.Lookup(key);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got.value(), row.back());
+    }
+    // Brute-force top-5: stable sort by numeric count desc, key asc.
+    std::vector<std::vector<std::string>> sorted = want.rows;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+                const double ca = std::stod(a.back());
+                const double cb = std::stod(b.back());
+                if (ca != cb) return ca > cb;
+                return std::vector<std::string>(a.begin(), a.end() - 1) <
+                       std::vector<std::string>(b.begin(), b.end() - 1);
+              });
+    const auto top = served.TopK(5);
+    ASSERT_EQ(top.size(), std::min<size_t>(5, sorted.size()));
+    for (size_t r = 0; r < top.size(); ++r) {
+      EXPECT_EQ(top[r].count, sorted[r].back()) << "table " << i;
+      EXPECT_EQ(top[r].attrs,
+                std::vector<std::string>(sorted[r].begin(),
+                                         sorted[r].end() - 1))
+          << "table " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eep::serve

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include "common/failpoint.h"
 
@@ -215,6 +218,84 @@ TEST_F(StoreTest, NotFoundLookups) {
             StatusCode::kNotFound);
   EXPECT_EQ(store.value()->ReadTable(2, "t").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, ConcurrentReadTableOnOneInstanceIsBitIdentical) {
+  // The thread-compatibility half of the store contract (store.h): const
+  // reads on ONE instance from many threads, no external locking. Every
+  // read is positional (pread-style), so concurrent readers of the same
+  // and different tables must each get the committed bytes back exactly.
+  // ctest runs this binary under TSan in CI, which turns any hidden
+  // shared cursor or lazy cache in the const path into a hard failure.
+  auto store = Store::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const std::vector<TableData> tables = {
+      MakeTable("alpha", 200), MakeTable("beta", 150, 5),
+      MakeTable("gamma", 1, 9)};
+  ASSERT_TRUE(store.value()->CommitEpoch("fp-1", tables).ok());
+  ASSERT_TRUE(store.value()->CommitEpoch("fp-2", {MakeTable("alpha", 7, 2)})
+                  .ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    // eep-lint: disjoint-writes -- thread w writes errors[w] only; the
+    // mismatch counter is atomic.
+    pool.emplace_back([&, w] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const TableData& want = tables[(w + i) % tables.size()];
+        auto got = store.value()->ReadTable(1, want.name);
+        if (!got.ok()) {
+          errors[w] = got.status().ToString();
+          return;
+        }
+        if (!(got.value() == want)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto epoch = store.value()->GetEpoch(2);
+        if (!epoch.ok() || epoch.value()->tables.size() != 1) {
+          errors[w] = "GetEpoch(2) failed under concurrency";
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_TRUE(errors[w].empty()) << "thread " << w << ": " << errors[w];
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(StoreTest, RefreshValidatesNewEpochsBeforePublishingThem) {
+  auto writer = store::Store::Open(dir_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->CommitEpoch("fp-1", {MakeTable("t", 6)}).ok());
+  auto reader = Store::OpenReadOnly(dir_);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader.value()->last_committed_epoch(), 1u);
+
+  // Commit epoch 2, then break its segment on disk: Refresh must refuse
+  // to publish the new epoch (IOError) and leave the reader on its
+  // previous consistent epoch set.
+  ASSERT_TRUE(
+      writer.value()->CommitEpoch("fp-2", {MakeTable("t", 9, 1)}).ok());
+  std::string broken;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("ep2-", 0) == 0) {
+      broken = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(broken.empty());
+  std::filesystem::resize_file(broken,
+                               std::filesystem::file_size(broken) / 2);
+  EXPECT_EQ(reader.value()->Refresh().status().code(), StatusCode::kIOError);
+  EXPECT_EQ(reader.value()->last_committed_epoch(), 1u);
+  EXPECT_TRUE(reader.value()->ReadTable(1, "t").ok());
 }
 
 TEST_F(StoreTest, WorkloadFingerprintIsStableAndDiscriminating) {

@@ -159,6 +159,52 @@ def check_failpoint_inventory(root):
     return len(refs), broken
 
 
+# Serve test sources as the serving-contract enforcement matrix references
+# them: `tests/serve*.cc`. Inline code spans inside the matrix table, so
+# fenced blocks are not skipped.
+SERVE_TEST_REF_RE = re.compile(r"\btests/(serve[a-z0-9_]*)\.cc")
+
+
+def check_serve_contract(root):
+    """Every tests/serve*.cc referenced in docs/ARCHITECTURE.md must exist,
+    and every serve test source must appear in the docs — so a serving
+    test cannot be renamed away from the contract matrix, and a new one
+    cannot ship undocumented. Also checks that CI's TSan thread-sweep
+    regex names `serve`, since the contract matrix claims those tests run
+    under TSan. Returns (checked, broken)."""
+    doc = os.path.join(root, "docs", "ARCHITECTURE.md")
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.exists(doc) or not os.path.isdir(tests_dir):
+        return 0, []
+    present = {
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(tests_dir)
+        if entry.startswith("serve") and entry.endswith(".cc")
+    }
+    broken = []
+    refs = set()
+    with open(doc, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for name in SERVE_TEST_REF_RE.findall(line):
+                refs.add(name)
+                if name not in present:
+                    broken.append((os.path.relpath(doc, root), number,
+                                   f"tests/{name}.cc"))
+    for name in sorted(present - refs):
+        broken.append((os.path.relpath(doc, root), 0,
+                       f"tests/{name}.cc (exists but absent from the "
+                       f"serving-contract matrix)"))
+    ci = os.path.join(root, ".github", "workflows", "ci.yml")
+    if present and os.path.exists(ci):
+        with open(ci, encoding="utf-8") as handle:
+            ci_text = handle.read()
+        sweeps = re.findall(r'-R "([^"]+)"', ci_text)
+        if not any("serve" in regex for regex in sweeps):
+            broken.append((os.path.relpath(ci, root), 0,
+                           "TSan thread-sweep -R regex does not name serve"))
+    return len(refs), broken
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -190,15 +236,20 @@ def main():
         print(f"UNKNOWN FAILPOINT {path}:{number}: failpoint:{site} "
               f"(docs and src/common/failpoint.cc's kFailpointInventory "
               f"disagree)")
+    serve_checked, serve_broken = check_serve_contract(root)
+    for path, number, what in serve_broken:
+        print(f"SERVING CONTRACT {path}:{number}: {what}")
     print(f"checked {checked} relative links in "
           f"{len(list(markdown_files(root)))} markdown files, "
           f"{bench_checked} bench names in docs/BENCHMARKS.md, "
-          f"{lint_checked} eep-lint rule ids and {fp_checked} failpoint "
-          f"sites in docs/ARCHITECTURE.md; "
+          f"{lint_checked} eep-lint rule ids, {fp_checked} failpoint "
+          f"sites and {serve_checked} serve tests in docs/ARCHITECTURE.md; "
           f"{len(broken)} broken links, {len(bench_broken)} unknown benches, "
           f"{len(lint_broken)} unknown lint rules, "
-          f"{len(fp_broken)} unknown failpoints")
-    return 1 if (broken or bench_broken or lint_broken or fp_broken) else 0
+          f"{len(fp_broken)} unknown failpoints, "
+          f"{len(serve_broken)} serving-contract mismatches")
+    return 1 if (broken or bench_broken or lint_broken or fp_broken
+                 or serve_broken) else 0
 
 
 if __name__ == "__main__":
