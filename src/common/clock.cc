@@ -1,0 +1,30 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace eep {
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock();
+  return clock;
+}
+
+RealClock::RealClock()
+    : origin_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count()) {}
+
+int64_t RealClock::NowMs() const {
+  const int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return (now_ns - origin_ns_) / 1000000;
+}
+
+void RealClock::SleepMs(int64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace eep

@@ -1,0 +1,42 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace eep {
+
+int64_t RetryPolicy::BackoffMs(int attempt) const {
+  if (initial_backoff_ms <= 0) return 0;
+  const double mult = multiplier < 1.0 ? 1.0 : multiplier;
+  double base = static_cast<double>(initial_backoff_ms) *
+                std::pow(mult, static_cast<double>(attempt < 0 ? 0 : attempt));
+  const double cap = static_cast<double>(
+      max_backoff_ms > 0 ? std::max(max_backoff_ms, initial_backoff_ms)
+                         : initial_backoff_ms);
+  base = std::min(base, cap);
+  double j = jitter;
+  if (j > 0.0) {
+    j = std::min(j, 0.999);
+    // Deterministic per (seed, attempt): any schedule is reproducible and
+    // assertable bit-for-bit. Substream(k) never perturbs a shared stream.
+    const double u =
+        Rng(jitter_seed).Substream(static_cast<uint64_t>(attempt)).Uniform();
+    base *= 1.0 - j * u;
+  }
+  const int64_t ms = static_cast<int64_t>(base);
+  return ms < 1 ? 1 : ms;
+}
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace eep

@@ -11,6 +11,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kAlreadyExists: return "AlreadyExists";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kInternal: return "Internal";
   }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition, ///< Operation is not valid in the current state.
   kAlreadyExists,      ///< Entity with the same key already present.
   kResourceExhausted,  ///< A budget (e.g. privacy budget) has run out.
+  kDeadlineExceeded,   ///< The caller's deadline passed before completion.
   kIOError,            ///< Filesystem or serialization failure.
   kInternal,           ///< Invariant violation inside the library.
 };
@@ -55,6 +56,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));

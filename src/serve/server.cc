@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -15,16 +16,47 @@ std::string ExpectedFingerprint(
                                     config.delta);
 }
 
+Server::Server(std::unique_ptr<store::Store> store, ServerOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()),
+      store_(std::move(store)) {
+  next_poll_delay_ms_ = BackoffDelayMs(0);
+  epoch_changed_ms_ = clock_->NowMs();
+}
+
+int64_t Server::BackoffDelayMs(uint64_t failures) const {
+  const int64_t base =
+      options_.poll_interval_ms > 0 ? options_.poll_interval_ms : 1;
+  const int64_t cap = options_.max_poll_interval_ms > 0
+                          ? std::max<int64_t>(options_.max_poll_interval_ms,
+                                              base)
+                          : base * 16;
+  int64_t delay = base;
+  for (uint64_t f = 0; f < failures && delay < cap; ++f) delay *= 2;
+  return std::min(delay, cap);
+}
+
 Result<std::unique_ptr<Server>> Server::Open(const std::string& dir,
                                              ServerOptions options) {
-  EEP_ASSIGN_OR_RETURN(std::unique_ptr<store::Store> store,
-                       store::Store::OpenReadOnly(dir));
+  // A transient disk hiccup at startup should not kill the serving
+  // process: both the read-only open and the initial snapshot load retry
+  // per options.open_retry (bounded; non-retryable classes — corruption,
+  // fingerprint mismatch — surface immediately).
+  Clock* clock = options.clock != nullptr ? options.clock : Clock::Real();
+  EEP_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::Store> store,
+      RetryResult(options.open_retry, clock,
+                  [&] { return store::Store::OpenReadOnly(dir); }));
   std::unique_ptr<Server> server(
       new Server(std::move(store), std::move(options)));
   auto snapshot = std::make_shared<Snapshot>();
   const uint64_t epoch = server->store_->last_committed_epoch();
   if (epoch > 0) {
-    EEP_ASSIGN_OR_RETURN(*snapshot, Snapshot::Load(*server->store_, epoch));
+    EEP_ASSIGN_OR_RETURN(
+        *snapshot,
+        RetryResult(server->options_.open_retry, clock, [&] {
+          return Snapshot::Load(*server->store_, epoch);
+        }));
     if (!server->options_.expected_fingerprint.empty() &&
         snapshot->fingerprint() != server->options_.expected_fingerprint) {
       return Status::FailedPrecondition(
@@ -81,11 +113,13 @@ Status Server::RefreshNow() {
     ++stats_.polls;
   }
   if (!latest.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failures;
+    RecordRefreshFailure();
     return latest.status();
   }
-  if (latest.value() == serving) return Status::OK();
+  if (latest.value() == serving) {
+    RecordRefreshSuccess();
+    return Status::OK();
+  }
 
   Result<Snapshot> loaded = Snapshot::Load(*store_, latest.value());
   Status status = loaded.status();
@@ -97,8 +131,7 @@ Status Server::RefreshNow() {
         options_.expected_fingerprint + "'");
   }
   if (!status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failures;
+    RecordRefreshFailure();
     return status;
   }
   auto next = std::make_shared<const Snapshot>(std::move(loaded).value());
@@ -106,9 +139,30 @@ Status Server::RefreshNow() {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot_ = std::move(next);  // The swap: one pointer assignment.
     ++stats_.swaps;
+    consecutive_failures_ = 0;
+    next_poll_delay_ms_ = BackoffDelayMs(0);
+    epoch_changed_ms_ = clock_->NowMs();
   }
   cv_.notify_all();
   return Status::OK();
+}
+
+void Server::RecordRefreshFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures;
+  ++consecutive_failures_;
+  // The schedule: base, 2b, 4b, ... capped — never a hot-poll through a
+  // persistent fault. Counted only when the delay actually grew, so
+  // tests can assert the exact number of schedule steps.
+  const int64_t delay = BackoffDelayMs(consecutive_failures_);
+  if (delay > next_poll_delay_ms_) ++stats_.backoffs;
+  next_poll_delay_ms_ = delay;
+}
+
+void Server::RecordRefreshSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  next_poll_delay_ms_ = BackoffDelayMs(0);
 }
 
 bool Server::WaitForEpoch(uint64_t epoch, int timeout_ms) const {
@@ -123,8 +177,21 @@ Server::Stats Server::stats() const {
   return stats_;
 }
 
+ServerHealth Server::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerHealth health;
+  health.serving_epoch = snapshot_->epoch();
+  health.consecutive_failures = consecutive_failures_;
+  health.degraded =
+      options_.degraded_after_failures > 0 &&
+      consecutive_failures_ >=
+          static_cast<uint64_t>(options_.degraded_after_failures);
+  health.epoch_age_ms = clock_->NowMs() - epoch_changed_ms_;
+  health.next_poll_delay_ms = next_poll_delay_ms_;
+  return health;
+}
+
 void Server::RefreshLoop() {
-  const auto interval = std::chrono::milliseconds(options_.poll_interval_ms);
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     lock.unlock();
@@ -132,6 +199,11 @@ void Server::RefreshLoop() {
     // previous snapshot serving and try again next tick.
     RefreshNow().ok();
     lock.lock();
+    // Failure-adaptive cadence: RecordRefreshFailure stretched the delay,
+    // success reset it to the base poll interval. The wall wait uses the
+    // OS condvar (shutdown must interrupt it); the SCHEDULE — what the
+    // tests pin through a FakeClock — is next_poll_delay_ms_ itself.
+    const auto interval = std::chrono::milliseconds(next_poll_delay_ms_);
     cv_.wait_for(lock, interval, [&] { return stop_; });
   }
 }

@@ -22,6 +22,12 @@
 //   * STALENESS BOUND. A committed epoch is serving within one poll
 //     interval plus one snapshot load; WaitForEpoch makes that bound
 //     testable.
+//   * DEGRADED, NOT DEAD. Consecutive refresh failures back the poll
+//     schedule off exponentially (capped — no hot-polling through a
+//     persistent fault) and, past options.degraded_after_failures, flip
+//     health() to degraded while the pinned epoch KEEPS SERVING. A
+//     refresh success resets both. (docs/ARCHITECTURE.md, "Overload &
+//     degradation contract".)
 //
 // The Server owns a READ-ONLY store instance (Store::OpenReadOnly), so it
 // never mutates the directory and can follow a live writer — same
@@ -38,6 +44,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "release/pipeline.h"
 #include "serve/snapshot.h"
@@ -57,12 +65,46 @@ struct ServerOptions {
   /// it expects. ExpectedFingerprint() derives the value for a pipeline
   /// config.
   std::string expected_fingerprint;
+  /// Cap of the failure backoff schedule: after f consecutive refresh
+  /// failures the next poll waits min(cap, base * 2^f) where base is
+  /// max(poll_interval_ms, 1). <= 0 means 16x the base.
+  int max_poll_interval_ms = 0;
+  /// Consecutive refresh failures after which health() reports degraded
+  /// (the pinned epoch keeps serving either way). <= 0 disables the flip.
+  int degraded_after_failures = 3;
+  /// Time source for backoff, epoch age and deadlines of a Service over
+  /// this server. nullptr means Clock::Real(); tests inject a FakeClock
+  /// to pin the exact schedule without sleeping.
+  Clock* clock = nullptr;
+  /// Transient-IOError retry for Store::OpenReadOnly and the initial
+  /// snapshot load at Open (jittered exponential backoff, capped; only
+  /// retryable status classes re-attempt — see common/retry.h).
+  RetryPolicy open_retry;
 };
 
 /// The fingerprint RunReleaseWorkload commits for `config` — hand it to
 /// ServerOptions::expected_fingerprint so the server refuses to serve any
 /// other release from the same directory.
 std::string ExpectedFingerprint(const release::WorkloadReleaseConfig& config);
+
+/// \brief Refresh-path health, the server half of what a HealthRequest
+/// reports (serve::Service adds the admission counters). A value type:
+/// one consistent sample under the server's mutex.
+struct ServerHealth {
+  /// True once consecutive_failures >= options.degraded_after_failures.
+  /// Degraded means "serving the pinned epoch, refresh is failing" —
+  /// answers stay bit-identical, only freshness suffers.
+  bool degraded = false;
+  uint64_t serving_epoch = 0;
+  uint64_t consecutive_failures = 0;
+  /// Clock ms since the serving snapshot was published (staleness).
+  int64_t epoch_age_ms = 0;
+  /// The backoff schedule's current position: what the refresh thread
+  /// waits before the next poll. Doubles per failure up to the cap,
+  /// resets to the base on success — the exact sequence
+  /// service/failpoint tests assert through a FakeClock.
+  int64_t next_poll_delay_ms = 0;
+};
 
 /// \brief The serving layer. Thread-safe: snapshot(), the query
 /// conveniences, RefreshNow, WaitForEpoch and stats() may all be called
@@ -74,6 +116,7 @@ class Server {
     uint64_t polls = 0;     ///< Store::Refresh probes (loop + RefreshNow).
     uint64_t swaps = 0;     ///< Snapshots published (initial load excluded).
     uint64_t failures = 0;  ///< Refreshes that kept the previous snapshot.
+    uint64_t backoffs = 0;  ///< Failure-driven poll-delay increases.
   };
 
   /// Opens `dir` read-only, loads the current epoch (or the empty
@@ -117,13 +160,26 @@ class Server {
 
   Stats stats() const;
 
+  /// One consistent health sample (see ServerHealth).
+  ServerHealth health() const;
+
+  /// The injected time source (ServerOptions::clock or Clock::Real()) —
+  /// a Service over this server times deadlines against the same clock.
+  Clock* clock() const { return clock_; }
+
  private:
-  Server(std::unique_ptr<store::Store> store, ServerOptions options)
-      : options_(std::move(options)), store_(std::move(store)) {}
+  Server(std::unique_ptr<store::Store> store, ServerOptions options);
 
   void RefreshLoop();
+  /// min(cap, base * 2^failures); base with failures == 0.
+  int64_t BackoffDelayMs(uint64_t failures) const;
+  /// Failure/success bookkeeping under mu_: counters, backoff schedule,
+  /// degraded state input.
+  void RecordRefreshFailure();
+  void RecordRefreshSuccess();
 
   const ServerOptions options_;
+  Clock* clock_;  ///< Never null.
   /// Touched only under refresh_mu_ (the store's Refresh mutates it).
   std::unique_ptr<store::Store> store_;
   /// Serializes refreshers (the loop and RefreshNow callers) across the
@@ -135,6 +191,12 @@ class Server {
   mutable std::condition_variable cv_;  ///< Swap + shutdown notifications.
   std::shared_ptr<const Snapshot> snapshot_;
   Stats stats_;
+  /// Refresh failures since the last success; drives backoff + degraded.
+  uint64_t consecutive_failures_ = 0;
+  /// What the refresh loop waits before its next poll (the schedule).
+  int64_t next_poll_delay_ms_ = 0;
+  /// clock_ time the serving snapshot was published (epoch age).
+  int64_t epoch_changed_ms_ = 0;
   bool stop_ = false;
   std::thread refresh_thread_;
 };

@@ -74,7 +74,7 @@ TEST(LintFixtureTest, RegistryHasContractedRules) {
   for (const char* rule :
        {"rng-source", "worker-shared-rng", "unordered-iteration",
         "release-layering", "worker-shared-mutation",
-        "worker-float-accumulation", "module-layering",
+        "worker-float-accumulation", "module-layering", "unbounded-queue",
         // Interprocedural flow rules + the annotation audit.
         "raw-count-egress", "unaccounted-release", "stale-suppression"}) {
     EXPECT_NE(out.find(rule), std::string::npos)

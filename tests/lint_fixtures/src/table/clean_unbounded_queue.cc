@@ -1,0 +1,29 @@
+// Two acceptable ways to grow a queue-like container: gate the push on a
+// .size() capacity check (shed on overflow), or annotate the external
+// bound when the gate lives elsewhere.
+#include <deque>
+#include <queue>
+#include <string>
+
+namespace fixture {
+
+constexpr size_t kCapacity = 128;
+
+std::deque<std::string> gated;
+std::queue<int> ticks;
+
+bool Admit(const std::string& request) {
+  if (gated.size() >= kCapacity) {
+    return false;  // shed
+  }
+  gated.push_back(request);
+  return true;
+}
+
+void Tick(int now) {
+  // eep-lint: bounded-by -- the producer drains ticks to one entry per
+  // worker before every push; the bound is structural, not a size check.
+  ticks.push(now);
+}
+
+}  // namespace fixture

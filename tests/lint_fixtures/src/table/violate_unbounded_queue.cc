@@ -1,0 +1,15 @@
+// An admission queue that grows on every request with no capacity gate
+// anywhere in the translation unit: overload becomes memory exhaustion
+// instead of load shedding.
+#include <deque>
+#include <string>
+
+namespace fixture {
+
+std::deque<std::string> pending;
+
+void Admit(const std::string& request) {
+  pending.push_back(request);
+}
+
+}  // namespace fixture

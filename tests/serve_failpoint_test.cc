@@ -200,5 +200,155 @@ TEST_F(ServeFailpointTest, ReadersKeepServingThroughEveryFaultedCommit) {
   EXPECT_GE(cases, 20);
 }
 
+// The read-side sites one refresh cycle (Store::Refresh + Snapshot::Load
+// of the new epoch) consults, site -> hits, recorded in a scratch
+// directory the same way CommitSites records the write side.
+std::map<std::string, int> RefreshSites(const std::string& scratch) {
+  auto& registry = FailpointRegistry::Instance();
+  std::filesystem::remove_all(scratch);
+  auto writer = store::Store::Open(scratch);
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE(writer.value()->CommitEpoch("fp-1", {EpochTable(1)}).ok());
+  ServerOptions options;
+  options.poll_interval_ms = 0;
+  auto server = Server::Open(scratch, options);
+  EXPECT_TRUE(server.ok());
+  EXPECT_TRUE(writer.value()->CommitEpoch("fp-2", {EpochTable(2)}).ok());
+  registry.EnableCounting(true);
+  EXPECT_TRUE(server.value()->RefreshNow().ok());
+  std::map<std::string, int> hits;
+  for (const std::string& name : registry.Names()) {
+    if (!registry.IsWriteSide(name) && registry.HitCount(name) > 0) {
+      hits[name] = registry.HitCount(name);
+    }
+  }
+  registry.EnableCounting(false);
+  registry.DisarmAll();
+  std::filesystem::remove_all(scratch);
+  return hits;
+}
+
+// The read half of the failure-isolation contract: for EVERY read-side
+// failpoint site x every hit a refresh consults, inject an error into a
+// refresh while live readers are serving epoch 1. The refresh must fail
+// WITHOUT disturbing the pinned epoch (degraded, not dead: health flips,
+// the backoff schedule steps, answers keep flowing), and the very next
+// clean refresh must converge to epoch 2 and clear the degraded state.
+TEST_F(ServeFailpointTest, RefreshFaultsDegradeButNeverStopServing) {
+  auto& registry = FailpointRegistry::Instance();
+  const std::map<std::string, int> sites = RefreshSites(dir_ + ".scratch");
+  // A refresh must open AND read files; both inventory read sites appear.
+  ASSERT_EQ(sites.size(), 2u);
+  ASSERT_TRUE(sites.count("file/open-read"));
+  ASSERT_TRUE(sites.count("file/read"));
+
+  const store::TableData epoch1 = EpochTable(1);
+  const store::TableData epoch2 = EpochTable(2);
+  int cases = 0;
+  for (const auto& [site, hits] : sites) {
+    for (int hit = 1; hit <= hits; ++hit) {
+      const std::string context = site + " hit " + std::to_string(hit);
+      ++cases;
+      std::filesystem::remove_all(dir_);
+      auto writer = store::Store::Open(dir_);
+      ASSERT_TRUE(writer.ok()) << context;
+      ASSERT_TRUE(writer.value()->CommitEpoch("fp-1", {epoch1}).ok())
+          << context;
+
+      FakeClock clock;
+      ServerOptions options;
+      options.poll_interval_ms = 0;  // manual refresh, schedule base 1ms
+      options.clock = &clock;
+      options.degraded_after_failures = 1;
+      auto opened = Server::Open(dir_, options);
+      ASSERT_TRUE(opened.ok()) << context << ": "
+                               << opened.status().ToString();
+      Server* server = opened.value().get();
+
+      // Live traffic throughout the fault, same audit as the write-side
+      // matrix: whole answers from a legal epoch, nothing torn.
+      constexpr int kReaders = 2;
+      std::atomic<bool> done{false};
+      std::atomic<uint64_t> checked{0};
+      std::vector<std::string> errors(kReaders);
+      std::vector<std::thread> readers;
+      readers.reserve(kReaders);
+      for (int w = 0; w < kReaders; ++w) {
+        // eep-lint: disjoint-writes -- reader w writes errors[w] only;
+        // the counters are atomics.
+        readers.emplace_back([&, w] {
+          while (!done.load(std::memory_order_relaxed)) {
+            std::shared_ptr<const Snapshot> snap = server->snapshot();
+            const store::TableData* want =
+                snap->epoch() == 1 ? &epoch1
+                : snap->epoch() == 2 ? &epoch2 : nullptr;
+            if (want == nullptr) {
+              errors[w] = "pinned impossible epoch " +
+                          std::to_string(snap->epoch());
+              return;
+            }
+            auto find = snap->Find("jobs");
+            if (!find.ok() || !(find.value()->rows() == want->rows)) {
+              errors[w] = "torn answer at epoch " +
+                          std::to_string(snap->epoch());
+              return;
+            }
+            checked.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+
+      ASSERT_TRUE(writer.value()->CommitEpoch("fp-2", {epoch2}).ok())
+          << context;
+
+      // The faulted refresh: fails, counts, backs off — and epoch 1
+      // keeps serving bit-identical answers.
+      FailpointSpec spec;
+      spec.fault = FailpointFault::kError;
+      spec.hit = hit;
+      spec.message = "EIO";
+      registry.Arm(site, spec);
+      EXPECT_FALSE(server->RefreshNow().ok()) << context;
+      registry.DisarmAll();
+      EXPECT_EQ(server->serving_epoch(), 1u) << context;
+      ServerHealth health = server->health();
+      EXPECT_TRUE(health.degraded) << context;
+      EXPECT_EQ(health.consecutive_failures, 1u) << context;
+      EXPECT_EQ(health.next_poll_delay_ms, 2) << context;  // 1ms doubled
+      EXPECT_EQ(server->stats().failures, 1u) << context;
+      auto during = server->snapshot()->Find("jobs");
+      ASSERT_TRUE(during.ok()) << context;  // degraded, NOT dead
+      EXPECT_TRUE(during.value()->rows() == epoch1.rows) << context;
+
+      // Readers must audit clean answers with the degraded state live.
+      const uint64_t before = checked.load(std::memory_order_relaxed);
+      for (int spin = 0;
+           spin < 5000 && checked.load(std::memory_order_relaxed) <
+                              before + kReaders;
+           ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+
+      // The fault is gone: the next refresh converges to epoch 2 and the
+      // degraded state clears on its own.
+      ASSERT_TRUE(server->RefreshNow().ok()) << context;
+      EXPECT_EQ(server->serving_epoch(), 2u) << context;
+      health = server->health();
+      EXPECT_FALSE(health.degraded) << context;
+      EXPECT_EQ(health.consecutive_failures, 0u) << context;
+      EXPECT_EQ(health.next_poll_delay_ms, 1) << context;  // reset to base
+
+      done.store(true, std::memory_order_relaxed);
+      for (auto& t : readers) t.join();
+      for (int w = 0; w < kReaders; ++w) {
+        ASSERT_TRUE(errors[w].empty())
+            << context << " reader " << w << ": " << errors[w];
+      }
+      EXPECT_GT(checked.load(), 0u) << context;
+    }
+  }
+  EXPECT_GE(cases, 4);
+}
+
 }  // namespace
 }  // namespace eep::serve

@@ -205,6 +205,55 @@ def check_serve_contract(root):
     return len(refs), broken
 
 
+# Request-front test sources as the overload-contract matrix references
+# them: `tests/service*.cc` and `tests/retry*.cc` ("service" does not
+# match the serve pattern above — literal "serve" needs its fifth char to
+# be 'e' — so the two matrices are checked independently).
+SERVICE_TEST_REF_RE = re.compile(r"\btests/((?:service|retry)[a-z0-9_]*)\.cc")
+
+
+def check_service_contract(root):
+    """Every tests/service*.cc or tests/retry*.cc referenced in
+    docs/ARCHITECTURE.md must exist, and every such test source must
+    appear in the docs — the overload & degradation contract matrix
+    cannot silently rot. Also checks that CI's TSan thread-sweep regex
+    names `service`, since the matrix claims the request-front tests run
+    under TSan (ctest -R "serve" does NOT match "service_test").
+    Returns (checked, broken)."""
+    doc = os.path.join(root, "docs", "ARCHITECTURE.md")
+    tests_dir = os.path.join(root, "tests")
+    if not os.path.exists(doc) or not os.path.isdir(tests_dir):
+        return 0, []
+    present = {
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(tests_dir)
+        if entry.startswith(("service", "retry")) and entry.endswith(".cc")
+    }
+    broken = []
+    refs = set()
+    with open(doc, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            for name in SERVICE_TEST_REF_RE.findall(line):
+                refs.add(name)
+                if name not in present:
+                    broken.append((os.path.relpath(doc, root), number,
+                                   f"tests/{name}.cc"))
+    for name in sorted(present - refs):
+        broken.append((os.path.relpath(doc, root), 0,
+                       f"tests/{name}.cc (exists but absent from the "
+                       f"overload-contract matrix)"))
+    ci = os.path.join(root, ".github", "workflows", "ci.yml")
+    if present and os.path.exists(ci):
+        with open(ci, encoding="utf-8") as handle:
+            ci_text = handle.read()
+        sweeps = re.findall(r'-R "([^"]+)"', ci_text)
+        if not any("service" in regex for regex in sweeps):
+            broken.append((os.path.relpath(ci, root), 0,
+                           "TSan thread-sweep -R regex does not name "
+                           "service"))
+    return len(refs), broken
+
+
 def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     broken = []
@@ -239,17 +288,22 @@ def main():
     serve_checked, serve_broken = check_serve_contract(root)
     for path, number, what in serve_broken:
         print(f"SERVING CONTRACT {path}:{number}: {what}")
+    service_checked, service_broken = check_service_contract(root)
+    for path, number, what in service_broken:
+        print(f"OVERLOAD CONTRACT {path}:{number}: {what}")
     print(f"checked {checked} relative links in "
           f"{len(list(markdown_files(root)))} markdown files, "
           f"{bench_checked} bench names in docs/BENCHMARKS.md, "
           f"{lint_checked} eep-lint rule ids, {fp_checked} failpoint "
-          f"sites and {serve_checked} serve tests in docs/ARCHITECTURE.md; "
+          f"sites, {serve_checked} serve tests and {service_checked} "
+          f"request-front tests in docs/ARCHITECTURE.md; "
           f"{len(broken)} broken links, {len(bench_broken)} unknown benches, "
           f"{len(lint_broken)} unknown lint rules, "
           f"{len(fp_broken)} unknown failpoints, "
-          f"{len(serve_broken)} serving-contract mismatches")
+          f"{len(serve_broken)} serving-contract mismatches, "
+          f"{len(service_broken)} overload-contract mismatches")
     return 1 if (broken or bench_broken or lint_broken or fp_broken
-                 or serve_broken) else 0
+                 or serve_broken or service_broken) else 0
 
 
 if __name__ == "__main__":

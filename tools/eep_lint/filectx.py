@@ -31,6 +31,7 @@ class FileContext:
         self.rngs = intra.rng_names(decl_code)
         self.atomics = intra.atomic_names(decl_code)
         self.floats = intra.float_names(decl_code)
+        self.queues = intra.queue_like_names(decl_code)
         self.regions = intra.find_worker_regions(self.code, self.starts)
         # line -> (rule, why, token) for every eep-lint annotation; lines
         # that end up suppressing (or declassifying) something move into

@@ -158,6 +158,33 @@ def unordered_names(code):
     return names
 
 
+def queue_like_names(code):
+    """Identifiers declared with a queue-like (FIFO/LIFO work-list) type."""
+    names = set()
+    for m in re.finditer(
+            r"\bstd::(?:deque|queue|priority_queue|list)\s*<", code):
+        open_angle = m.end() - 1
+        depth = 0
+        i = open_angle
+        while i < len(code):
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif code[i] in ";{}":
+                break
+            i += 1
+        if i >= len(code) or code[i] != ">":
+            continue
+        tail = code[i + 1:i + 200]
+        dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
 def float_names(code):
     names = set(re.findall(r"\b(?:double|float)\s+(\w+)\s*[;=,){]", code))
     names |= set(re.findall(r"std::vector<\s*(?:double|float)\s*>\s+(\w+)",
@@ -357,6 +384,36 @@ def check_raw_file_io(ctx, findings):
             "raw)"))
 
 
+QUEUE_GROWTH_RE = re.compile(
+    r"(?<![\w.>])(\w+)\s*\.\s*(push_back|emplace_back|push_front|"
+    r"emplace_front|push|emplace|insert)\s*\(")
+
+
+def check_unbounded_queue(ctx, findings):
+    if not ctx.queues:
+        return
+    for m in QUEUE_GROWTH_RE.finditer(ctx.code):
+        name = m.group(1)
+        if name not in ctx.queues:
+            continue
+        # A .size() comparison on the same name anywhere in the TU (paired
+        # header included) is taken as the capacity gate for every push.
+        guard = re.compile(
+            r"\b%(n)s\s*\.\s*size\s*\(\s*\)\s*(?:[<>]=?|==|!=)|"
+            r"(?:[<>]=?|==|!=)\s*%(n)s\s*\.\s*size\s*\(" %
+            {"n": re.escape(name)})
+        if guard.search(ctx.decl_code):
+            continue
+        line = line_of(ctx.code, m.start(), ctx.starts)
+        findings.append(Finding(
+            ctx.rel, line, "unbounded-queue",
+            f"'{name}.{m.group(2)}()' grows a queue-like container with no "
+            ".size() capacity check in this translation unit: an unbounded "
+            "work queue turns overload into memory exhaustion instead of "
+            "load shedding; gate the push on a capacity bound or annotate "
+            "the bound (// eep-lint: bounded-by -- <why>)"))
+
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([\w./-]+)"', re.M)
 
 
@@ -398,4 +455,5 @@ def build_checkers(closure):
         "module-layering": (
             lambda ctx, f: check_module_layering(ctx, f, closure), {"src"}),
         "raw-file-io": (check_raw_file_io, {"src"}),
+        "unbounded-queue": (check_unbounded_queue, {"src", "bench"}),
     }

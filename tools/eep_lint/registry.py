@@ -15,6 +15,7 @@ RULES = {
     "worker-float-accumulation": "float accumulation across worker boundaries outside blessed merge kernels",
     "module-layering": "#include crossing the module DAG of src/*/CMakeLists.txt",
     "raw-file-io": "direct file I/O (fstream/fopen/open) in src/ outside common/, bypassing the Status-returning file layer",
+    "unbounded-queue": "growth of a queue-like container with no .size() capacity check in its translation unit",
     "raw-count-egress": "a raw (un-noised) count flows to an output sink without a mechanism Release on the path",
     "unaccounted-release": "release noise drawn on a path that never charges the PrivacyAccountant (or discards a refusal)",
     "stale-suppression": "an eep-lint annotation that no longer suppresses any finding",
@@ -27,6 +28,7 @@ SUPPRESS_TOKENS = {
     "declassify": "raw-count-egress",
     "custodian-only": "raw-count-egress",
     "measurement-harness": "unaccounted-release",
+    "bounded-by": "unbounded-queue",
 }
 
 # The flow rules are the interprocedural taint pass (tools/eep_lint/flow.py);
@@ -35,7 +37,7 @@ FLOW_RULES = ("raw-count-egress", "unaccounted-release")
 
 ANNOT_RE = re.compile(
     r"eep-lint:\s*(disjoint-writes|order-insensitive|blessed-merge|"
-    r"declassify|custodian-only|measurement-harness|"
+    r"declassify|custodian-only|measurement-harness|bounded-by|"
     r"suppress\(([\w-]+)\))\s*(?:--\s*(\S.*))?")
 
 SOURCE_EXTS = (".cc", ".h")
